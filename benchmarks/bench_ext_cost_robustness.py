@@ -1,0 +1,72 @@
+"""Extension benches for the paper's §8 future-work dimensions.
+
+The paper names "training time, cost, robustness to incorrect input" as
+evaluation dimensions it leaves open.  These benches measure them on the
+simulators:
+
+* campaign cost — what the paper's own measurement scale (Table 2) would
+  have cost per platform, from recorded training time and prediction
+  volume plus 2017-shaped price sheets;
+* label-noise robustness — F-score degradation as training labels are
+  corrupted, per platform.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.analysis import (
+    degradation_slope,
+    label_noise_curve,
+    render_table,
+    study_cost_report,
+)
+from repro.datasets import load_dataset
+from repro.platforms import ALL_PLATFORMS
+
+
+def test_ext_campaign_cost(benchmark, baseline_store):
+    reports = benchmark(study_cost_report, baseline_store)
+    print_banner("Extension — estimated campaign cost per platform "
+                 "(baseline protocol; 2017-shaped pricing)")
+    print(render_table(
+        ["platform", "# measurements", "training hours", "# predictions",
+         "est. USD", "USD/measurement"],
+        [
+            [r.platform, r.n_measurements, f"{r.training_hours:.4f}",
+             f"{r.n_predictions:,}", f"{r.estimated_usd:.2f}",
+             f"{r.usd_per_measurement():.4f}"]
+            for r in reports
+        ],
+    ))
+    by_name = {r.platform: r for r in reports}
+    assert by_name["local"].estimated_usd == 0.0
+    assert all(r.training_hours >= 0.0 for r in reports)
+    assert all(r.n_measurements > 0 for r in reports)
+
+
+def test_ext_label_noise_robustness(benchmark):
+    def compute():
+        dataset = load_dataset("synthetic/linear_10d", size_cap=300)
+        curves = {}
+        for platform_cls in ALL_PLATFORMS:
+            curves[platform_cls.name] = label_noise_curve(
+                platform_cls(random_state=0), dataset,
+                noise_rates=(0.0, 0.1, 0.2, 0.3), random_state=0,
+            )
+        return curves
+
+    curves = benchmark(compute)
+    print_banner("Extension — F-score vs training-label noise "
+                 "(clean test labels)")
+    rates = next(iter(curves.values())).noise_rates
+    print(render_table(
+        ["platform", *(f"noise={r:.0%}" for r in rates), "slope"],
+        [
+            [name,
+             *(f"{f:.3f}" for f in curve.f_scores),
+             f"{degradation_slope(curve):+.2f}"]
+            for name, curve in curves.items()
+        ],
+    ))
+    # Noise cannot help on average: every platform's clean F-score is at
+    # least its worst noisy one (small slack for stochastic training).
+    for curve in curves.values():
+        assert curve.f_scores[0] >= min(curve.f_scores) - 0.05

@@ -1,0 +1,49 @@
+"""Extension bench — per-domain platform performance and family preference.
+
+Slices the optimized sweep by the corpus's application domains (Fig 3a),
+answering the practitioner question behind the paper's motivation: which
+platform, and which classifier family, wins on *my kind of data*?
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.analysis import (
+    domain_breakdown,
+    domain_family_preference,
+    render_table,
+)
+
+
+def test_ext_domain_breakdown(benchmark, optimized_store):
+    slices = benchmark(domain_breakdown, optimized_store)
+    print_banner("Extension — optimized F-score per (domain, platform)")
+    print(render_table(
+        ["domain", "platform", "# datasets", "mean F"],
+        [
+            [s.domain, s.platform, s.n_datasets, f"{s.mean_f_score:.3f}"]
+            for s in slices
+        ],
+    ))
+    assert slices
+    for s in slices:
+        assert 0.0 <= s.mean_f_score <= 1.0
+        assert s.n_datasets >= 1
+
+
+def test_ext_domain_family_preference(benchmark, optimized_store):
+    preferences = benchmark(domain_family_preference, optimized_store)
+    print_banner("Extension — winning classifier family per domain")
+    print(render_table(
+        ["domain", "linear wins", "non-linear wins"],
+        [
+            [domain, f"{p['linear']:.0%}", f"{p['nonlinear']:.0%}"]
+            for domain, p in sorted(preferences.items())
+        ],
+    ))
+    assert preferences
+    for p in preferences.values():
+        assert p["linear"] + p["nonlinear"] == 1.0
+    # Across the whole corpus both families win somewhere — Table 4's
+    # "no classifier dominates" seen through the domain lens.
+    assert any(p["nonlinear"] > 0 for p in preferences.values())

@@ -1,0 +1,50 @@
+"""Figure 2 — the control vs performance/risk overview.
+
+Figure 2 is the paper's conceptual scatter: platforms arranged by control
+(complexity) against performance-and-risk.  This bench materializes it
+from measurements — optimized F-score (performance) and configuration
+spread (risk) per platform — and asserts the monotone trend the figure
+sketches.
+"""
+
+import numpy as np
+from scipy import stats
+
+from benchmarks.conftest import print_banner
+from repro.analysis import performance_variation, render_table
+from repro.platforms import ALL_PLATFORMS
+
+
+def test_fig2_control_vs_performance_and_risk(benchmark, optimized_store):
+    def compute():
+        rows = []
+        for cls in ALL_PLATFORMS:
+            results = optimized_store.for_platform(cls.name)
+            rows.append({
+                "platform": cls.name,
+                "control": cls.complexity,
+                "performance": results.mean_score(),
+                "risk": performance_variation(optimized_store, cls.name).spread,
+            })
+        return rows
+
+    rows = benchmark(compute)
+    print_banner("Figure 2 — control vs performance and risk (measured)")
+    print(render_table(
+        ["platform", "control rank", "optimized F", "risk (spread)"],
+        [
+            [r["platform"], r["control"], f"{r['performance']:.3f}",
+             f"{r['risk']:.3f}"]
+            for r in rows
+        ],
+    ))
+    control = [r["control"] for r in rows]
+    performance = [r["performance"] for r in rows]
+    risk = [r["risk"] for r in rows]
+    perf_rho = stats.spearmanr(control, performance).statistic
+    risk_rho = stats.spearmanr(control, risk).statistic
+    print(f"\nSpearman(control, performance) = {perf_rho:+.2f}")
+    print(f"Spearman(control, risk)        = {risk_rho:+.2f}")
+    # The paper's thesis: both correlations are positive and strong.
+    assert perf_rho > 0.5
+    assert risk_rho > 0.5

@@ -1,0 +1,36 @@
+"""Figure 3 — basic characteristics of the 119-dataset corpus.
+
+Regenerates: (a) the domain breakdown, (b) the CDF of sample counts,
+(c) the CDF of feature counts.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.analysis import render_cdf, render_table
+from repro.datasets import CORPUS, corpus_domain_breakdown
+
+
+def test_fig3a_domain_breakdown(benchmark):
+    breakdown = benchmark(corpus_domain_breakdown)
+    print_banner("Figure 3(a) — application-domain breakdown of the corpus")
+    rows = sorted(breakdown.items(), key=lambda item: -item[1])
+    print(render_table(["domain", "# datasets"], rows))
+    assert sum(breakdown.values()) == 119
+    assert breakdown["life_science"] == 44
+
+
+def test_fig3b_sample_count_cdf(benchmark):
+    sizes = benchmark(lambda: np.array([s.n_samples for s in CORPUS]))
+    print_banner("Figure 3(b) — CDF of dataset sample counts")
+    print(render_cdf(sizes, n_points=10, value_format="{:,.0f}"))
+    assert sizes.min() == 15
+    assert sizes.max() == 245_057
+
+
+def test_fig3c_feature_count_cdf(benchmark):
+    features = benchmark(lambda: np.array([s.n_features for s in CORPUS]))
+    print_banner("Figure 3(c) — CDF of dataset feature counts")
+    print(render_cdf(features, n_points=10, value_format="{:,.0f}"))
+    assert features.min() == 1
+    assert features.max() == 4_702

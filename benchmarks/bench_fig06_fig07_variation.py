@@ -1,0 +1,78 @@
+"""Figures 6 and 7 — the risk side of complexity.
+
+Figure 6: per-platform range of per-configuration average F-scores when
+tuning all available controls.  Figure 7: the share of that variation
+attributable to each control dimension individually.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.analysis import per_control_variation, performance_variation, render_table
+from repro.core.controls import CLF, FEAT, PARA
+from repro.platforms import ALL_PLATFORMS
+
+COMPLEXITY_ORDER = [cls.name for cls in ALL_PLATFORMS]
+TUNABLE = ["amazon", "bigml", "predictionio", "microsoft", "local"]
+
+
+def test_fig6_overall_variation(benchmark, optimized_store):
+    def compute():
+        return {
+            platform: performance_variation(optimized_store, platform)
+            for platform in COMPLEXITY_ORDER
+        }
+
+    variation = benchmark(compute)
+    print_banner("Figure 6 — performance variation when tuning all controls")
+    print(render_table(
+        ["platform", "min avg-F", "max avg-F", "spread", "# configs"],
+        [
+            [p, f"{v.minimum:.3f}", f"{v.maximum:.3f}",
+             f"{v.spread:.3f}", v.n_configurations]
+            for p, v in variation.items()
+        ],
+    ))
+    # Paper shape: variation grows with complexity; the local library and
+    # Microsoft have the largest ranges, black boxes effectively none.
+    spreads = {p: v.spread for p, v in variation.items()}
+    assert max(spreads, key=lambda p: spreads[p]) in ("microsoft", "local")
+    assert spreads["microsoft"] > spreads["amazon"]
+    assert spreads["abm"] == 0.0  # single hidden configuration
+    assert spreads["google"] == 0.0
+
+
+def test_fig7_variation_share_per_control(
+    benchmark, optimized_store, control_stores
+):
+    def compute():
+        return {
+            platform: per_control_variation(
+                control_stores, optimized_store, platform
+            )
+            for platform in TUNABLE
+        }
+
+    shares = benchmark(compute)
+    print_banner("Figure 7 — share of overall variation from each control "
+                 "(normalized; 'No Data' = control unsupported)")
+    print(render_table(
+        ["platform", "FeatureSelection", "ClassifierSelection", "ParameterTuning"],
+        [
+            [
+                platform,
+                *(
+                    f"{shares[platform][d]:.2f}"
+                    if np.isfinite(shares[platform][d]) else "No Data"
+                    for d in (FEAT, CLF, PARA)
+                ),
+            ]
+            for platform in TUNABLE
+        ],
+    ))
+    # Paper shape: classifier choice is the largest contributor to
+    # variation on the platforms that expose several classifiers.
+    for platform in ("microsoft", "predictionio", "local"):
+        clf_share = shares[platform][CLF]
+        para_share = shares[platform][PARA]
+        assert clf_share >= para_share or clf_share > 0.5

@@ -1,0 +1,41 @@
+"""Figure 8 — average performance vs number of classifiers explored.
+
+Plots the expected best F-score obtained by a user who tries a uniformly
+random subset of k classifiers (taking the best), for every platform
+exposing classifier choice.  Computed exactly via order statistics rather
+than subset sampling.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.analysis import render_table, subset_performance_curve
+
+PLATFORMS = ["bigml", "predictionio", "microsoft", "local"]
+
+
+def test_fig8_subset_curves(benchmark, optimized_store):
+    def compute():
+        return {
+            platform: subset_performance_curve(optimized_store, platform)
+            for platform in PLATFORMS
+        }
+
+    curves = benchmark(compute)
+    print_banner("Figure 8 — expected best F-score vs # classifiers explored")
+    max_k = max(k for curve in curves.values() for k, _ in curve)
+    rows = []
+    for k in range(1, max_k + 1):
+        row = [str(k)]
+        for platform in PLATFORMS:
+            value = dict(curves[platform]).get(k)
+            row.append(f"{value:.3f}" if value is not None else "")
+        rows.append(row)
+    print(render_table(["k", *PLATFORMS], rows))
+
+    for platform in PLATFORMS:
+        curve = dict(curves[platform])
+        values = [curve[k] for k in sorted(curve)]
+        # Monotone non-decreasing in k.
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        # Paper headline: k = 3 is near-optimal (within ~7% of the best).
+        k3 = curve.get(min(3, max(curve)))
+        assert k3 > max(values) * 0.93

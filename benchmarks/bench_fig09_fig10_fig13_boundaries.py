@@ -1,0 +1,112 @@
+"""Figures 9, 10 and 13 — probe datasets and black-box decision boundaries.
+
+Figure 9 visualizes the CIRCLE and LINEAR probe datasets; Figure 10 shows
+Google's and ABM's decision boundaries on them (linear on LINEAR,
+non-linear on CIRCLE, with different non-linear shapes); Figure 13 shows
+Amazon's non-linear boundary on CIRCLE despite its claimed Logistic
+Regression.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.analysis import (
+    boundary_linearity,
+    probe_decision_boundary,
+    render_table,
+)
+from repro.datasets import load_dataset
+from repro.platforms import ABM, Amazon, Google
+
+
+@pytest.fixture(scope="module")
+def splits():
+    return {
+        name: load_dataset(f"synthetic/{name}", size_cap=500).split(random_state=0)
+        for name in ("circle", "linear")
+    }
+
+
+def test_fig9_probe_datasets(benchmark, splits):
+    def compute():
+        stats = {}
+        for name, split in splits.items():
+            X = np.vstack([split.X_train, split.X_test])
+            y = np.concatenate([split.y_train, split.y_test])
+            radii = np.linalg.norm(X, axis=1)
+            stats[name] = {
+                "n": len(y),
+                "balance": float(y.mean()),
+                "radius_gap": float(
+                    abs(np.median(radii[y == 0]) - np.median(radii[y == 1]))
+                ),
+            }
+        return stats
+
+    stats = benchmark(compute)
+    print_banner("Figure 9 — the CIRCLE and LINEAR probe datasets")
+    print(render_table(
+        ["dataset", "samples", "class balance", "median radius gap"],
+        [
+            [name, s["n"], f"{s['balance']:.2f}", f"{s['radius_gap']:.2f}"]
+            for name, s in stats.items()
+        ],
+    ))
+    # CIRCLE's classes are radially separated; LINEAR's are not.
+    assert stats["circle"]["radius_gap"] > 0.3
+    assert stats["linear"]["radius_gap"] < stats["circle"]["radius_gap"]
+
+
+def test_fig10_blackbox_boundaries(benchmark, splits):
+    def compute():
+        table = {}
+        for platform_cls in (Google, ABM):
+            for name, split in splits.items():
+                probe = probe_decision_boundary(
+                    platform_cls(random_state=0),
+                    split.X_train, split.y_train, resolution=100,
+                )
+                table[(platform_cls.name, name)] = (
+                    boundary_linearity(probe), probe
+                )
+        return table
+
+    table = benchmark(compute)
+    print_banner("Figure 10 — Google/ABM decision boundaries "
+                 "(100x100 mesh probe)")
+    print(render_table(
+        ["platform", "dataset", "boundary linearity", "verdict"],
+        [
+            [platform, dataset, f"{linearity:.3f}",
+             "linear" if linearity > 0.95 else "NON-linear"]
+            for (platform, dataset), (linearity, _) in table.items()
+        ],
+    ))
+    print("\nGoogle on CIRCLE:")
+    print(table[("google", "circle")][1].render_ascii(width=40))
+    print("\nABM on CIRCLE:")
+    print(table[("abm", "circle")][1].render_ascii(width=40))
+
+    # Paper shape: both black boxes draw a straight line on LINEAR and a
+    # closed region on CIRCLE.
+    for platform in ("google", "abm"):
+        assert table[(platform, "linear")][0] > 0.95
+        assert table[(platform, "circle")][0] < 0.9
+
+
+def test_fig13_amazon_nonlinear_boundary(benchmark, splits):
+    def compute():
+        probe = probe_decision_boundary(
+            Amazon(random_state=0),
+            splits["circle"].X_train, splits["circle"].y_train,
+            resolution=100,
+        )
+        return boundary_linearity(probe), probe
+
+    linearity, probe = benchmark(compute)
+    print_banner("Figure 13 — Amazon's decision boundary on CIRCLE")
+    print(probe.render_ascii(width=40))
+    print(f"\nboundary linearity: {linearity:.3f} "
+          "(claimed classifier: Logistic Regression)")
+    assert linearity < 0.9  # non-linear despite the claimed LR

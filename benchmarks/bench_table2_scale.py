@@ -1,0 +1,40 @@
+"""Table 2 — scale of the measurements.
+
+Regenerates, per platform: the number of feature-selection options,
+classifiers, tunable parameters, and the total measurement count over the
+119-dataset corpus under the paper's full-grid protocol.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.analysis import render_table
+from repro.core import count_measurements
+from repro.platforms import ALL_PLATFORMS
+
+
+def test_table2_measurement_scale(benchmark):
+    def compute():
+        return [
+            count_measurements(cls(), n_datasets=119, para_grid="full")
+            for cls in ALL_PLATFORMS
+        ]
+
+    rows = benchmark(compute)
+    print_banner("Table 2 — scale of the measurements (full-grid protocol)")
+    print(render_table(
+        ["platform", "# feat sel", "# classifiers", "# parameters",
+         "configs/dataset", "total measurements"],
+        [
+            [r["platform"], r["n_feature_selectors"], r["n_classifiers"],
+             r["n_parameters"], r["configs_per_dataset"],
+             f"{r['total_measurements']:,}"]
+            for r in rows
+        ],
+    ))
+    by_name = {r["platform"]: r for r in rows}
+    # The paper's shape: black boxes do 119 measurements; Microsoft and
+    # the local library dominate everyone else by orders of magnitude.
+    assert by_name["abm"]["total_measurements"] == 119
+    assert by_name["google"]["total_measurements"] == 119
+    assert by_name["microsoft"]["total_measurements"] > 100_000
+    assert by_name["local"]["total_measurements"] > 50_000
+    assert by_name["microsoft"]["n_parameters"] == 23

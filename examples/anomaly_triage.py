@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Networking scenario: KPI anomaly triage with partial classifier knowledge.
+
+The paper's §5 finding with the most practical value: you do not need to
+sweep a platform's whole classifier zoo — a random subset of ~3
+classifiers gets within a few percent of the optimum, with far less risk.
+
+This example plays that out on a network-operations task the paper's
+intro motivates (automatic anomaly detection over KPI time series, à la
+Opprentice): windows of a noisy KPI stream are featurized and labelled
+anomalous/normal, then a researcher with a budget of k classifier trials
+picks the best of the k.
+
+Run:  python examples/anomaly_triage.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table, subset_performance_curve
+from repro.core import ExperimentRunner, per_control_configurations
+from repro.core.controls import CLF
+from repro.datasets.corpus import Dataset
+from repro.datasets.registry import DatasetSpec
+from repro.platforms import LocalLibrary
+
+
+def synthesize_kpi_windows(n_windows: int = 900, seed: int = 3):
+    """Featurized sliding windows of a KPI stream with injected anomalies.
+
+    Window features: mean level, variance, lag-1 autocorrelation, max
+    spike, trend slope, and diff-entropy — the standard anomaly-detector
+    feature set.  Anomalies are level shifts, spikes, or variance bursts.
+    """
+    rng = np.random.default_rng(seed)
+    features, labels = [], []
+    for _ in range(n_windows):
+        base = rng.normal(100.0, 3.0)
+        window = base + np.cumsum(rng.normal(0, 0.3, 60)) + rng.normal(0, 1.0, 60)
+        anomalous = rng.random() < 0.2
+        if anomalous:
+            kind = rng.integers(0, 3)
+            if kind == 0:        # level shift
+                window[30:] += rng.choice([-1, 1]) * rng.uniform(6, 14)
+            elif kind == 1:      # spike
+                at = rng.integers(5, 55)
+                window[at] += rng.choice([-1, 1]) * rng.uniform(15, 30)
+            else:                # variance burst
+                window[20:40] += rng.normal(0, 6.0, 20)
+        diffs = np.diff(window)
+        features.append([
+            window.mean(),
+            window.var(),
+            float(np.corrcoef(window[:-1], window[1:])[0, 1]),
+            np.abs(window - np.median(window)).max(),
+            np.polyfit(np.arange(60), window, 1)[0],
+            float(np.log(diffs.var() + 1e-9)),
+        ])
+        labels.append(int(anomalous))
+    return np.asarray(features), np.asarray(labels)
+
+
+def main() -> None:
+    X, y = synthesize_kpi_windows()
+    spec = DatasetSpec(
+        name="example/kpi_anomalies", domain="other", concept="rule",
+        n_samples=len(y), n_features=X.shape[1],
+    )
+    dataset = Dataset(spec=spec, X=X, y=y)
+
+    platform = LocalLibrary(random_state=0)
+    runner = ExperimentRunner(split_seed=0)
+
+    # Tune only the CLF dimension (default parameters), the paper's
+    # single-control protocol — one trial per classifier.
+    configurations = per_control_configurations(platform, CLF)
+    store = runner.sweep(platform, [dataset], configurations)
+
+    per_classifier = sorted(
+        ((r.configuration.classifier, r.f_score) for r in store.ok()),
+        key=lambda item: -item[1],
+    )
+    print(render_table(
+        ["classifier", "f-score"],
+        [[abbr, f"{score:.3f}"] for abbr, score in per_classifier],
+        title="Anomaly triage: one trial per classifier (default params)",
+    ))
+
+    curve = subset_performance_curve(store, platform.name)
+    best = max(value for _, value in curve)
+    print()
+    print(render_table(
+        ["k classifiers tried", "expected best f-score", "% of optimum"],
+        [
+            [str(k), f"{value:.3f}", f"{100 * value / best:.1f}%"]
+            for k, value in curve
+        ],
+        title="Fig 8 in miniature: expected outcome of trying a random k-subset",
+    ))
+    k3 = dict(curve).get(3)
+    if k3 is not None:
+        print(f"\nTakeaway: trying just 3 random classifiers already reaches "
+              f"{100 * k3 / best:.1f}% of the full-sweep optimum (paper §5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Networking scenario: botnet C&C flow detection via MLaaS.
+
+The paper motivates MLaaS with network-measurement tasks — botnet
+detection among them (§1, citing Haider & Scheffer).  This example
+simulates NetFlow-style features for benign vs botnet command-and-control
+flows and shows the decision a network researcher faces:
+
+* a turnkey black box (Google-style) with zero knobs;
+* a configurable platform (Microsoft-style) used naively vs tuned.
+
+The flow features follow the standard botnet-detection literature:
+C&C channels beacon on a timer (low inter-arrival jitter), use small
+fixed-size packets, and talk to few destinations.
+
+Run:  python examples/botnet_detection.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import Configuration, ExperimentRunner, enumerate_configurations
+from repro.datasets.corpus import Dataset
+from repro.datasets.registry import DatasetSpec
+from repro.learn import f_score
+from repro.platforms import Google, Microsoft
+
+
+def synthesize_flows(n_flows: int = 700, botnet_fraction: float = 0.15,
+                     seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    """Generate NetFlow-like features for benign and C&C traffic.
+
+    Features (per flow): mean packet size, packet-size variance,
+    inter-arrival jitter, flow duration, packets/flow, distinct dst ports,
+    bytes up/down ratio, TLS handshake present.
+
+    Stealthy C&C mimics benign traffic in every single feature; only the
+    *combination* of signatures (beaconing + small packets, or long-lived
+    + single-port) gives it away — which is exactly why classifier choice
+    matters for this workload.
+    """
+    rng = np.random.default_rng(seed)
+    n_bot = int(n_flows * botnet_fraction)
+    n_benign = n_flows - n_bot
+
+    def benign(n):
+        return np.column_stack([
+            rng.normal(700, 300, n),            # mean pkt size: browsing mix
+            rng.gamma(3.0, 200.0, n),           # size variance
+            rng.gamma(2.0, 0.8, n),             # inter-arrival jitter
+            rng.gamma(1.8, 40.0, n),            # duration (s)
+            rng.gamma(2.0, 40.0, n),            # packets per flow
+            rng.poisson(5, n).astype(float),    # distinct dst ports
+            rng.gamma(2.0, 1.5, n),             # up/down bytes ratio
+            (rng.random(n) < 0.8).astype(float),  # TLS
+        ])
+
+    X_bot = benign(n_bot)  # stealthy: start from the benign profile
+    # Signature A (beaconing): tiny jitter AND small fixed packets.
+    # Signature B (persistence): very long flows AND a single dst port.
+    # Each bot flow expresses one signature; marginals overlap benign.
+    signature = rng.random(n_bot) < 0.5
+    a = np.flatnonzero(signature)
+    b = np.flatnonzero(~signature)
+    X_bot[a, 2] = rng.gamma(1.5, 0.25, a.size)      # low-ish jitter
+    X_bot[a, 0] = rng.normal(320, 120, a.size)      # small-ish packets
+    X_bot[b, 3] = rng.gamma(5.0, 60.0, b.size)      # long-lived
+    X_bot[b, 5] = rng.poisson(1, b.size) + 1.0      # 1-2 ports
+
+    X = np.vstack([benign(n_benign), X_bot])
+    y = np.concatenate([np.zeros(n_benign, dtype=int), np.ones(n_bot, dtype=int)])
+    # Ground-truth labels in deployed blocklists are themselves noisy.
+    flips = rng.random(n_flows) < 0.02
+    y[flips] = 1 - y[flips]
+    order = rng.permutation(n_flows)
+    return X[order], y[order]
+
+
+def main() -> None:
+    X, y = synthesize_flows()
+    # Wrap the traffic in a corpus Dataset so the measurement harness
+    # (runner, sweeps) can drive it like any paper dataset.
+    spec = DatasetSpec(
+        name="example/botnet_flows", domain="other", concept="rule",
+        n_samples=len(y), n_features=X.shape[1],
+    )
+    dataset = Dataset(spec=spec, X=X, y=y)
+    runner = ExperimentRunner(split_seed=0)
+
+    rows = []
+
+    # Option 1: a turnkey black box — upload and hope.
+    google = Google(random_state=0)
+    result = runner.run_one(google, dataset, Configuration.make())
+    rows.append(["google (turnkey)", "zero clicks", f"{result.f_score:.3f}"])
+
+    # Option 2: Microsoft with its default Logistic Regression.
+    microsoft = Microsoft(random_state=0)
+    baseline = runner.run_one(
+        microsoft, dataset,
+        Configuration.make(
+            classifier="LR",
+            params=microsoft.controls.classifier("LR").default_params(),
+        ),
+    )
+    rows.append(["microsoft (defaults)", "LR defaults", f"{baseline.f_score:.3f}"])
+
+    # Option 3: Microsoft tuned — sweep its CLF x PARA space and keep the
+    # best, the paper's 'optimized' protocol.  (Add include_feat=True for
+    # the full FEAT x CLF x PARA sweep; ~9x slower.)
+    best_score, best_config = -1.0, None
+    for configuration in enumerate_configurations(
+        microsoft, para_grid="single_axis", include_feat=False
+    ):
+        result = runner.run_one(microsoft, dataset, configuration)
+        if result.ok and result.f_score > best_score:
+            best_score, best_config = result.f_score, configuration
+    rows.append(["microsoft (tuned)", best_config.label()[:42], f"{best_score:.3f}"])
+
+    print(render_table(
+        ["approach", "configuration", "f-score"],
+        rows,
+        title="Detecting botnet C&C flows (15% positive class)",
+    ))
+    print("\nTakeaway (paper §4): turnkey automation beats a bad default, "
+          "but a tuned high-control platform beats both — if you spend "
+          "the configuration effort.")
+
+
+if __name__ == "__main__":
+    main()

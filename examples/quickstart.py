@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: train a model on every MLaaS platform and compare.
+
+This walks the full public API in ~30 seconds:
+
+1. load a corpus dataset (the paper's 119-dataset corpus, §3.1);
+2. split it 70/30 like the paper's protocol;
+3. drive each platform's service API (upload -> train -> batch predict);
+4. score with the paper's headline metric (F-score).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_table
+from repro.datasets import load_dataset
+from repro.learn import classification_summary
+from repro.platforms import ALL_PLATFORMS
+
+
+def main() -> None:
+    # A clean non-linear dataset from the corpus.
+    dataset = load_dataset("synthetic/moons_easy", size_cap=600)
+    split = dataset.split(test_size=0.3, random_state=0)
+    print(f"dataset: {dataset.name}  "
+          f"train={split.X_train.shape}  test={split.X_test.shape}")
+
+    rows = []
+    for platform_cls in ALL_PLATFORMS:
+        platform = platform_cls(random_state=0)
+
+        # The three calls every platform supports, black box or not.
+        dataset_id = platform.upload_dataset(
+            split.X_train, split.y_train, name=dataset.name
+        )
+        model_id = platform.create_model(dataset_id)  # zero-control baseline
+        predictions = platform.batch_predict(model_id, split.X_test)
+
+        metrics = classification_summary(split.y_test, predictions)
+        handle = platform.get_model(model_id)
+        selection = handle.metadata.get("selection")
+        note = (
+            f"auto:{selection.chosen_family}" if selection
+            else (handle.classifier_abbr or "-")
+        )
+        rows.append([
+            platform.name,
+            ",".join(sorted(platform.exposed_dimensions)) or "none",
+            note,
+            f"{metrics.f_score:.3f}",
+            f"{metrics.accuracy:.3f}",
+        ])
+
+    print()
+    print(render_table(
+        ["platform", "controls", "model", "f-score", "accuracy"],
+        rows,
+        title="Zero-control (baseline) performance per platform",
+    ))
+    print("\nNote how the black-box platforms (abm, google) and Amazon's "
+          "hidden recipe handle the non-linear dataset, while platforms "
+          "whose baseline is plain Logistic Regression struggle — the "
+          "paper's Figure 4 'baseline' story in miniature.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All package metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on environments without the ``wheel``
+package (offline boxes where ``pip install -e .`` cannot build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

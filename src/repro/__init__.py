@@ -1,0 +1,26 @@
+"""Reproduction of "Complexity vs. Performance: Empirical Analysis of
+Machine Learning as a Service" (Yao et al., IMC 2017).
+
+Subpackages
+-----------
+``repro.learn``
+    From-scratch ML library (classifiers, feature selection, metrics,
+    model selection) standing in for scikit-learn.
+``repro.datasets``
+    Deterministic 119-dataset corpus matching the paper's Figure 3
+    characteristics, including the CIRCLE and LINEAR probe datasets.
+``repro.platforms``
+    Simulators of the six MLaaS platforms (ABM, Google, Amazon,
+    PredictionIO, BigML, Microsoft) plus the fully-tunable local library,
+    each exposing exactly the Table 1 control surface.
+``repro.core``
+    Measurement harness: control dimensions, configuration-space
+    enumeration, experiment runner and study orchestration.
+``repro.analysis``
+    Statistical analysis reproducing every table and figure: Friedman
+    ranking, per-control improvement, performance variation, k-classifier
+    subsets, decision-boundary probing, classifier-family inference and
+    the naive selection strategy.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,100 @@
+"""repro.analysis — statistical analysis reproducing every table & figure.
+
+==================  =====================================================
+Module              Reproduces
+==================  =====================================================
+``stats``           Friedman rankings / test (Table 3 methodology)
+``aggregate``       Fig 4, Fig 5, Table 3, Table 4
+``variation``       Fig 6, Fig 7
+``subsets``         Fig 8 (random k-classifier subsets, exact expectation)
+``boundary``        Fig 10, Fig 13 (mesh-grid decision-boundary probes)
+``family``          Fig 11, Fig 12, §6.2 black-box family inference
+``naive``           Table 6, Fig 14 (naive LR-vs-DT strategy)
+``reporting``       plain-text tables / bar charts / CDFs for benches
+``cost``            §8 extension: training-time and campaign-cost model
+``robustness``      §8 extension: label-noise degradation curves
+==================  =====================================================
+"""
+
+from repro.analysis.aggregate import (
+    PlatformSummary,
+    classifier_ranking,
+    per_control_improvement,
+    platform_summary,
+)
+from repro.analysis.domains import (
+    DomainSlice,
+    domain_breakdown,
+    domain_family_preference,
+)
+from repro.analysis.cost import (
+    PRICING,
+    CostReport,
+    PricingModel,
+    study_cost_report,
+)
+from repro.analysis.robustness import (
+    NoiseCurve,
+    degradation_slope,
+    label_noise_curve,
+)
+from repro.analysis.boundary import (
+    BoundaryProbe,
+    boundary_linearity,
+    probe_decision_boundary,
+)
+from repro.analysis.family import (
+    BlackBoxFamilyReport,
+    FamilyObservation,
+    FamilyPredictor,
+    collect_family_observations,
+    family_of,
+    infer_blackbox_families,
+    train_family_predictors,
+)
+from repro.analysis.naive import (
+    NaiveChoice,
+    NaiveComparison,
+    compare_with_blackbox,
+    naive_strategy,
+)
+from repro.analysis.posthoc import (
+    PairwiseComparison,
+    nemenyi_critical_difference,
+    pairwise_comparisons,
+    significantly_different_pairs,
+    wilcoxon_signed_rank,
+)
+from repro.analysis.reporting import (
+    cdf_points,
+    render_bar_chart,
+    render_cdf,
+    render_table,
+)
+from repro.analysis.stats import friedman_ranking, friedman_test, standard_error
+from repro.analysis.subsets import expected_max_of_subset, subset_performance_curve
+from repro.analysis.variation import (
+    VariationSummary,
+    per_control_variation,
+    performance_variation,
+)
+
+__all__ = [
+    "friedman_ranking", "friedman_test", "standard_error",
+    "PlatformSummary", "platform_summary", "per_control_improvement",
+    "classifier_ranking",
+    "VariationSummary", "performance_variation", "per_control_variation",
+    "expected_max_of_subset", "subset_performance_curve",
+    "BoundaryProbe", "probe_decision_boundary", "boundary_linearity",
+    "family_of", "FamilyObservation", "FamilyPredictor",
+    "collect_family_observations", "train_family_predictors",
+    "infer_blackbox_families", "BlackBoxFamilyReport",
+    "NaiveChoice", "naive_strategy", "NaiveComparison", "compare_with_blackbox",
+    "render_table", "render_bar_chart", "cdf_points", "render_cdf",
+    # extensions (paper §8 future work)
+    "PricingModel", "PRICING", "CostReport", "study_cost_report",
+    "NoiseCurve", "label_noise_curve", "degradation_slope",
+    "DomainSlice", "domain_breakdown", "domain_family_preference",
+    "wilcoxon_signed_rank", "PairwiseComparison", "pairwise_comparisons",
+    "nemenyi_critical_difference", "significantly_different_pairs",
+]

@@ -1,0 +1,162 @@
+"""Aggregation of sweep results into the paper's headline tables.
+
+* :func:`platform_summary` — per-platform best-per-dataset averages of
+  all four metrics plus Friedman rankings (Table 3a/3b, Fig 4).
+* :func:`per_control_improvement` — % F-score improvement over baseline
+  when tuning one control (Fig 5).
+* :func:`classifier_ranking` — fraction of datasets on which each
+  classifier is the platform's best (Table 4a/4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import friedman_ranking, standard_error
+from repro.core.results import ResultStore
+
+__all__ = [
+    "PlatformSummary",
+    "platform_summary",
+    "per_control_improvement",
+    "classifier_ranking",
+]
+
+_METRICS = ("f_score", "accuracy", "precision", "recall")
+
+
+@dataclass(frozen=True)
+class PlatformSummary:
+    """One row of Table 3: per-metric averages and Friedman ranks."""
+
+    platform: str
+    avg: dict
+    friedman: dict
+    avg_friedman: float
+    stderr_f: float
+
+    def as_row(self) -> str:
+        """Render this summary as one Table 3 text row."""
+        cells = [
+            f"{self.avg[m]:.3f} ({self.friedman[m]:.1f})" for m in _METRICS
+        ]
+        return (
+            f"{self.platform:<13s} {self.avg_friedman:>8.1f}  " + "  ".join(cells)
+        )
+
+
+def _best_scores(store: ResultStore, metric: str) -> dict[str, dict[str, float]]:
+    """{platform: {dataset: best score}} from a sweep store."""
+    scores: dict[str, dict[str, float]] = {}
+    for platform in store.platforms():
+        best = store.for_platform(platform).best_per_dataset(metric)
+        scores[platform] = {
+            dataset: getattr(result.metrics, metric)
+            for dataset, result in best.items()
+        }
+    return scores
+
+
+def platform_summary(store: ResultStore) -> list[PlatformSummary]:
+    """Reproduce a Table 3 block from a sweep's result store.
+
+    For each platform the per-dataset *best* result is aggregated (for a
+    baseline store there is exactly one result per dataset, so baseline
+    and optimized use the same code path).  Platforms are returned sorted
+    by average Friedman ranking (ascending = better), the paper's row
+    order.
+    """
+    summaries = []
+    per_metric_ranks: dict[str, dict[str, float]] = {}
+    for metric in _METRICS:
+        scores = _best_scores(store, metric)
+        if len(scores) >= 2:
+            per_metric_ranks[metric] = friedman_ranking(scores)
+        else:
+            per_metric_ranks[metric] = {p: 1.0 for p in scores}
+    f_scores = _best_scores(store, "f_score")
+    for platform in store.platforms():
+        avg = {}
+        for metric in _METRICS:
+            values = list(_best_scores(store, metric)[platform].values())
+            avg[metric] = float(np.mean(values)) if values else float("nan")
+        friedman = {
+            metric: per_metric_ranks[metric].get(platform, float("nan"))
+            for metric in _METRICS
+        }
+        summaries.append(PlatformSummary(
+            platform=platform,
+            avg=avg,
+            friedman=friedman,
+            avg_friedman=float(np.mean(list(friedman.values()))),
+            stderr_f=standard_error(list(f_scores[platform].values())),
+        ))
+    summaries.sort(key=lambda s: s.avg_friedman)
+    return summaries
+
+
+def per_control_improvement(
+    baseline: ResultStore,
+    control_store: ResultStore,
+    platform: str,
+) -> float:
+    """Percent F-score improvement over baseline from tuning one control.
+
+    Computes the paper's Fig 5 quantity: average per-dataset best F-score
+    under the single-control sweep, relative to the baseline average.
+    Returns NaN when the platform has no measurements in the sweep (the
+    white 'No Data' boxes of Fig 5).
+    """
+    control_results = control_store.for_platform(platform)
+    if len(control_results.ok()) == 0:
+        return float("nan")
+    baseline_score = baseline.for_platform(platform).mean_score()
+    tuned_score = control_results.mean_score()
+    if baseline_score <= 0.0:
+        return float("nan")
+    return 100.0 * (tuned_score - baseline_score) / baseline_score
+
+
+def classifier_ranking(
+    store: ResultStore,
+    platform: str,
+    optimized_params: bool,
+    top: int = 4,
+) -> list[tuple[str, float]]:
+    """Table 4: which classifiers win most datasets on a platform.
+
+    With ``optimized_params=False`` only default-parameter results
+    compete (Table 4a); with ``True`` each classifier is represented by
+    its best parameter configuration per dataset (Table 4b).  Returns
+    ``(classifier, percent of datasets won)`` sorted descending.
+    """
+    results = store.for_platform(platform).ok()
+    if not optimized_params:
+        results = results.where(
+            lambda r: "PARA" not in r.configuration.tuned
+            and r.configuration.feature_selection is None
+        )
+    wins: dict[str, int] = {}
+    n_datasets = 0
+    for dataset in results.datasets():
+        dataset_results = results.for_dataset(dataset)
+        best_per_classifier: dict[str, float] = {}
+        for result in dataset_results:
+            abbr = result.configuration.classifier or "auto"
+            score = result.metrics.f_score
+            if score > best_per_classifier.get(abbr, -1.0):
+                best_per_classifier[abbr] = score
+        if not best_per_classifier:
+            continue
+        n_datasets += 1
+        winner = max(best_per_classifier, key=lambda a: best_per_classifier[a])
+        wins[winner] = wins.get(winner, 0) + 1
+    if n_datasets == 0:
+        return []
+    ranking = [
+        (abbr, 100.0 * count / n_datasets) for abbr, count in wins.items()
+    ]
+    ranking.sort(key=lambda item: -item[1])
+    return ranking[:top]

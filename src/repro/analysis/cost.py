@@ -1,0 +1,116 @@
+"""Training-time and monetary-cost accounting (paper §8 future work).
+
+The paper's limitations section names "training time, cost" as evaluation
+dimensions it leaves unexplored.  This extension closes that gap for the
+simulators: every training job records its wall-clock time and sample
+count, and each platform carries a pricing model shaped like the vendors'
+2017 public price sheets (compute-hour training fees, per-1k-prediction
+fees, and flat subscriptions).
+
+The absolute dollar figures are only as real as the price sheets they
+imitate; what the analysis genuinely shows is the *structure* of the
+trade-off the paper hints at — sweeping Microsoft's 17k-configuration
+space costs orders of magnitude more than the 119 one-shot calls a black
+box needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import ResultStore
+
+__all__ = ["PricingModel", "PRICING", "CostReport", "study_cost_report"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """How a platform bills a measurement campaign.
+
+    Attributes
+    ----------
+    training_usd_per_hour : float
+        Compute-hour price for model training.
+    prediction_usd_per_1k : float
+        Price per 1,000 batch predictions.
+    flat_usd_per_month : float
+        Subscription component, amortized over a campaign.
+    """
+
+    training_usd_per_hour: float
+    prediction_usd_per_1k: float
+    flat_usd_per_month: float = 0.0
+
+    def campaign_cost(
+        self, training_hours: float, n_predictions: int, months: float = 1.0
+    ) -> float:
+        """Total USD for a campaign of the given training/prediction volume."""
+        return (
+            self.training_usd_per_hour * training_hours
+            + self.prediction_usd_per_1k * n_predictions / 1000.0
+            + self.flat_usd_per_month * months
+        )
+
+
+#: 2017-era shaped pricing per platform (see module docstring caveat).
+PRICING: dict[str, PricingModel] = {
+    "abm": PricingModel(0.0, 0.0, flat_usd_per_month=250.0),
+    "google": PricingModel(0.0, 0.50, flat_usd_per_month=10.0),
+    "amazon": PricingModel(0.42, 0.10),
+    "predictionio": PricingModel(0.10, 0.0),   # self-hosted infra only
+    "bigml": PricingModel(0.0, 0.0, flat_usd_per_month=30.0),
+    "microsoft": PricingModel(1.00, 0.50, flat_usd_per_month=9.99),
+    "local": PricingModel(0.0, 0.0),           # your own hardware
+}
+
+
+@dataclass
+class CostReport:
+    """Aggregate cost of one platform's share of a measurement campaign."""
+
+    platform: str
+    n_measurements: int
+    training_hours: float
+    n_predictions: int
+    estimated_usd: float
+
+    def usd_per_measurement(self) -> float:
+        """Estimated cost divided by the number of measurements."""
+        if self.n_measurements == 0:
+            return float("nan")
+        return self.estimated_usd / self.n_measurements
+
+
+def study_cost_report(store: ResultStore, months: float = 1.0) -> list[CostReport]:
+    """Estimate the campaign cost per platform from a result store.
+
+    Uses the per-job ``training_seconds`` and ``n_predictions`` recorded
+    by the runner.  Platforms without a pricing entry are costed at zero.
+    """
+    reports = []
+    for platform in store.platforms():
+        results = store.for_platform(platform)
+        training_seconds = 0.0
+        n_predictions = 0
+        count = 0
+        for result in results:
+            count += 1
+            training_seconds += float(
+                result.metadata.get("training_seconds", 0.0)
+            )
+            n_predictions += int(result.metadata.get("n_predictions", 0))
+        pricing = PRICING.get(platform, PricingModel(0.0, 0.0))
+        training_hours = training_seconds / 3600.0
+        reports.append(CostReport(
+            platform=platform,
+            n_measurements=count,
+            training_hours=training_hours,
+            n_predictions=n_predictions,
+            estimated_usd=pricing.campaign_cost(
+                training_hours, n_predictions, months
+            ),
+        ))
+    reports.sort(key=lambda r: -r.estimated_usd)
+    return reports

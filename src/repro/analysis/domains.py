@@ -1,0 +1,93 @@
+"""Per-domain result breakdown.
+
+The paper motivates MLaaS with *networking* workloads but evaluates over
+a multi-domain corpus (Fig 3a).  This analysis slices any result store by
+application domain, answering the practical question behind the paper:
+"for my kind of data, which platform — and which classifier family —
+should I reach for?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import ResultStore
+from repro.datasets.registry import CORPUS
+from repro.learn import LINEAR_FAMILY
+
+__all__ = ["DomainSlice", "domain_breakdown", "domain_family_preference"]
+
+_DOMAIN_OF = {spec.name: spec.domain for spec in CORPUS}
+
+
+@dataclass(frozen=True)
+class DomainSlice:
+    """Best-per-dataset performance of one platform within one domain."""
+
+    domain: str
+    platform: str
+    n_datasets: int
+    mean_f_score: float
+
+
+def domain_breakdown(store: ResultStore) -> list[DomainSlice]:
+    """Slice per-platform optimized performance by dataset domain.
+
+    Datasets not in the corpus registry (e.g. user-supplied) are grouped
+    under the domain ``"external"``.
+    """
+    slices = []
+    for platform in store.platforms():
+        best = store.for_platform(platform).best_per_dataset()
+        by_domain: dict[str, list[float]] = {}
+        for dataset, result in best.items():
+            domain = _DOMAIN_OF.get(dataset, "external")
+            by_domain.setdefault(domain, []).append(result.metrics.f_score)
+        for domain, scores in sorted(by_domain.items()):
+            slices.append(DomainSlice(
+                domain=domain,
+                platform=platform,
+                n_datasets=len(scores),
+                mean_f_score=float(np.mean(scores)),
+            ))
+    return slices
+
+
+def domain_family_preference(store: ResultStore) -> dict[str, dict[str, float]]:
+    """Per domain: fraction of dataset wins by linear vs non-linear family.
+
+    For each dataset the winning configuration's classifier family is
+    tallied; black-box results (no classifier attribution) are ignored.
+    Returns ``{domain: {"linear": fraction, "nonlinear": fraction}}``.
+    """
+    wins: dict[str, dict[str, int]] = {}
+    for dataset in store.datasets():
+        best_result = None
+        best_score = -1.0
+        for result in store.for_dataset(dataset).ok():
+            abbr = result.configuration.classifier
+            if abbr is None:
+                continue
+            if result.metrics.f_score > best_score:
+                best_score = result.metrics.f_score
+                best_result = result
+        if best_result is None:
+            continue
+        domain = _DOMAIN_OF.get(dataset, "external")
+        family = (
+            "linear"
+            if best_result.configuration.classifier in LINEAR_FAMILY
+            else "nonlinear"
+        )
+        domain_wins = wins.setdefault(domain, {"linear": 0, "nonlinear": 0})
+        domain_wins[family] += 1
+    preferences = {}
+    for domain, counts in wins.items():
+        total = counts["linear"] + counts["nonlinear"]
+        preferences[domain] = {
+            "linear": counts["linear"] / total,
+            "nonlinear": counts["nonlinear"] / total,
+        }
+    return preferences

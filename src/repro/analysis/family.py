@@ -1,0 +1,262 @@
+"""Classifier-family inference (§6.2, Figs 11 & 12).
+
+The paper trains, *per dataset*, a meta-classifier (a Random Forest) that
+predicts whether an ML experiment used a linear or non-linear classifier,
+from two observables only: aggregate performance metrics and the
+predicted labels on the held-out test set.  Datasets whose meta-classifier
+validates at F > 0.95 become probes that are then applied to the
+black-box platforms to infer their hidden classifier choices.
+
+This module reproduces that pipeline end to end:
+
+1. :func:`collect_family_observations` sweeps the classifier-exposing
+   platforms, recording (feature vector, family label) per experiment.
+2. :class:`FamilyPredictor` trains/validates/tests the per-dataset meta
+   Random Forest.
+3. :func:`infer_blackbox_families` applies qualified predictors to
+   Google/ABM (or any black box) and tallies linear vs non-linear picks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config_space import enumerate_configurations
+from repro.core.controls import Configuration
+from repro.core.runner import ExperimentRunner
+from repro.datasets.corpus import Dataset
+from repro.exceptions import ValidationError
+from repro.learn import LINEAR_FAMILY, NONLINEAR_FAMILY
+from repro.learn.ensemble import RandomForestClassifier
+from repro.learn.metrics import classification_summary, f_score
+from repro.learn.model_selection import cross_val_score, train_test_split
+from repro.learn.validation import check_random_state
+from repro.platforms.base import MLaaSPlatform
+
+__all__ = [
+    "family_of",
+    "FamilyObservation",
+    "collect_family_observations",
+    "FamilyPredictor",
+    "train_family_predictors",
+    "infer_blackbox_families",
+    "BlackBoxFamilyReport",
+]
+
+
+def family_of(classifier_abbr: str) -> str:
+    """Map a classifier abbreviation to its Table 5 family."""
+    if classifier_abbr in LINEAR_FAMILY:
+        return "linear"
+    if classifier_abbr in NONLINEAR_FAMILY:
+        return "nonlinear"
+    raise ValidationError(f"unknown classifier {classifier_abbr!r}")
+
+
+@dataclass(frozen=True)
+class FamilyObservation:
+    """One labelled training sample for the meta-classifier."""
+
+    dataset: str
+    platform: str
+    classifier: str
+    family: str             # "linear" / "nonlinear"
+    features: np.ndarray    # metrics + predicted labels
+
+
+def _observation_features(y_test: np.ndarray, predictions: np.ndarray) -> np.ndarray:
+    """Paper features: aggregated metrics + the predicted labels."""
+    summary = classification_summary(y_test, predictions)
+    classes = np.unique(y_test)
+    label01 = (np.asarray(predictions) == classes[-1]).astype(float)
+    return np.concatenate([
+        [summary.f_score, summary.precision, summary.recall, summary.accuracy],
+        label01,
+    ])
+
+
+def collect_family_observations(
+    runner: ExperimentRunner,
+    platforms: list[MLaaSPlatform],
+    datasets: list[Dataset],
+    max_configs_per_classifier: int = 4,
+) -> dict[str, list[FamilyObservation]]:
+    """Sweep classifier-exposing platforms, recording labelled samples.
+
+    Only platforms with user classifier control contribute (the paper
+    uses Microsoft, BigML, PredictionIO and the local library — the
+    platforms whose classifier ground truth is known).
+    """
+    observations: dict[str, list[FamilyObservation]] = {d.name: [] for d in datasets}
+    for platform in platforms:
+        if not platform.controls.classifiers:
+            continue
+        configurations = _configs_by_classifier(
+            platform, max_configs_per_classifier
+        )
+        for dataset in datasets:
+            for configuration in configurations:
+                try:
+                    y_test, predictions = runner.predictions_for(
+                        platform, dataset, configuration
+                    )
+                except Exception:
+                    continue
+                if len(np.unique(predictions)) < 2:
+                    # A model collapsed to one class carries no family
+                    # signal — its predictions are identical whether the
+                    # underlying classifier was linear or not.
+                    continue
+                observations[dataset.name].append(FamilyObservation(
+                    dataset=dataset.name,
+                    platform=platform.name,
+                    classifier=configuration.classifier,
+                    family=family_of(configuration.classifier),
+                    features=_observation_features(y_test, predictions),
+                ))
+    return observations
+
+
+def _configs_by_classifier(
+    platform: MLaaSPlatform, max_per_classifier: int
+) -> list[Configuration]:
+    by_classifier: dict[str, list[Configuration]] = {}
+    for configuration in enumerate_configurations(
+        platform, para_grid="single_axis", include_feat=False
+    ):
+        bucket = by_classifier.setdefault(configuration.classifier, [])
+        if len(bucket) < max_per_classifier:
+            bucket.append(configuration)
+    return [c for bucket in by_classifier.values() for c in bucket]
+
+
+@dataclass
+class FamilyPredictor:
+    """Per-dataset meta Random Forest predicting the classifier family."""
+
+    dataset: str
+    validation_f_score: float = 0.0
+    test_f_score: float = 0.0
+    model: RandomForestClassifier | None = None
+    feature_length: int = 0
+    classes: tuple = ("linear", "nonlinear")
+    qualification_threshold: float = 0.95
+
+    @property
+    def qualified(self) -> bool:
+        """Paper criterion: validation F-score above the threshold.
+
+        The paper uses 0.95, estimated from thousands of experiments per
+        dataset.  At reduced observation counts the cross-validated
+        estimate is noisy and downward-biased, so small-scale runs may
+        lower ``qualification_threshold`` (the benches use 0.9 under
+        ``REPRO_SCALE=small``).
+        """
+        return self.validation_f_score > self.qualification_threshold
+
+    def predict(self, y_test: np.ndarray, predictions: np.ndarray) -> str:
+        """Infer 'linear' or 'nonlinear' from one prediction vector."""
+        if self.model is None:
+            raise ValidationError(f"predictor for {self.dataset} is untrained")
+        features = _observation_features(y_test, predictions)
+        if features.shape[0] != self.feature_length:
+            raise ValidationError(
+                "prediction vector length mismatch: the probe must use the "
+                "same held-out test set the predictor was trained on"
+            )
+        label = self.model.predict(features[None, :])[0]
+        return "nonlinear" if label == 1 else "linear"
+
+
+def train_family_predictors(
+    observations: dict[str, list[FamilyObservation]],
+    random_state: int = 0,
+    qualification_threshold: float = 0.95,
+) -> dict[str, FamilyPredictor]:
+    """Train, validate, and test one meta-classifier per dataset.
+
+    Follows the paper's §6.2 protocol: 70% of experiments form the
+    train+validation set — validated with 5-fold cross-validation (fewer
+    folds on small samples) — and 30% are held out for the test score;
+    the meta-classifier is a Random Forest.
+    """
+    rng = check_random_state(random_state)
+    predictors: dict[str, FamilyPredictor] = {}
+    for dataset, samples in observations.items():
+        predictor = FamilyPredictor(
+            dataset=dataset,
+            qualification_threshold=qualification_threshold,
+        )
+        families = {s.family for s in samples}
+        if len(samples) >= 10 and len(families) == 2:
+            X = np.vstack([s.features for s in samples])
+            y = np.array([1 if s.family == "nonlinear" else 0 for s in samples])
+            seed = int(rng.integers(0, 2**31))
+            try:
+                X_dev, X_test, y_dev, y_test = train_test_split(
+                    X, y, test_size=0.3, random_state=seed
+                )
+                model = RandomForestClassifier(
+                    n_estimators=100, max_depth=10, random_state=seed
+                )
+                n_folds = min(5, int(np.bincount(y_dev).min()))
+                if n_folds >= 2:
+                    cv_scores = cross_val_score(
+                        model, X_dev, y_dev, cv=n_folds, random_state=seed
+                    )
+                    predictor.validation_f_score = float(cv_scores.mean())
+                else:
+                    predictor.validation_f_score = 0.0
+                model.fit(X_dev, y_dev)
+                predictor.model = model
+                predictor.feature_length = X.shape[1]
+                predictor.test_f_score = f_score(y_test, model.predict(X_test))
+            except Exception:
+                predictor.model = None
+        predictors[dataset] = predictor
+    return predictors
+
+
+@dataclass
+class BlackBoxFamilyReport:
+    """§6.2 outcome for one black-box platform."""
+
+    platform: str
+    choices: dict = field(default_factory=dict)   # dataset -> family
+
+    @property
+    def n_linear(self) -> int:
+        return sum(1 for f in self.choices.values() if f == "linear")
+
+    @property
+    def n_nonlinear(self) -> int:
+        return sum(1 for f in self.choices.values() if f == "nonlinear")
+
+    def linear_fraction(self) -> float:
+        """Fraction of inferred choices that are linear."""
+        total = len(self.choices)
+        return self.n_linear / total if total else float("nan")
+
+
+def infer_blackbox_families(
+    runner: ExperimentRunner,
+    blackbox: MLaaSPlatform,
+    datasets: list[Dataset],
+    predictors: dict[str, FamilyPredictor],
+) -> BlackBoxFamilyReport:
+    """Apply qualified per-dataset predictors to a black-box platform."""
+    report = BlackBoxFamilyReport(platform=blackbox.name)
+    for dataset in datasets:
+        predictor = predictors.get(dataset.name)
+        if predictor is None or not predictor.qualified:
+            continue
+        try:
+            y_test, predictions = runner.predictions_for(
+                blackbox, dataset, Configuration.make()
+            )
+        except Exception:
+            continue
+        report.choices[dataset.name] = predictor.predict(y_test, predictions)
+    return report

@@ -1,0 +1,123 @@
+"""Naive classifier-selection strategy (§6.3, Table 6, Fig 14).
+
+The paper's probe of black-box optimization quality: train two widely
+supported classifiers with default parameters — Logistic Regression
+(linear) and Decision Tree (non-linear) — and pick whichever scores
+higher on the dataset.  If this two-model strategy beats a black-box
+platform, the platform's hidden selection had room to improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controls import Configuration
+from repro.core.runner import ExperimentRunner
+from repro.datasets.corpus import Dataset
+from repro.learn.linear import LogisticRegression
+from repro.learn.metrics import f_score
+from repro.learn.tree import DecisionTreeClassifier
+from repro.platforms.base import MLaaSPlatform
+
+__all__ = ["NaiveChoice", "naive_strategy", "NaiveComparison", "compare_with_blackbox"]
+
+
+@dataclass(frozen=True)
+class NaiveChoice:
+    """The naive strategy's outcome on one dataset."""
+
+    dataset: str
+    chosen_family: str      # "linear" (LR) or "nonlinear" (DT)
+    f_score: float
+    lr_f_score: float
+    dt_f_score: float
+
+
+def naive_strategy(
+    runner: ExperimentRunner,
+    dataset: Dataset,
+    random_state: int = 0,
+) -> NaiveChoice:
+    """Train default LR and default DT; choose the better performer."""
+    split = runner.split(dataset)
+    lr = LogisticRegression(random_state=random_state)
+    lr.fit(split.X_train, split.y_train)
+    lr_score = f_score(split.y_test, lr.predict(split.X_test))
+    dt = DecisionTreeClassifier(random_state=random_state)
+    dt.fit(split.X_train, split.y_train)
+    dt_score = f_score(split.y_test, dt.predict(split.X_test))
+    if dt_score > lr_score:
+        chosen, score = "nonlinear", dt_score
+    else:
+        chosen, score = "linear", lr_score
+    return NaiveChoice(
+        dataset=dataset.name,
+        chosen_family=chosen,
+        f_score=score,
+        lr_f_score=lr_score,
+        dt_f_score=dt_score,
+    )
+
+
+@dataclass
+class NaiveComparison:
+    """Comparison of the naive strategy against one black-box platform.
+
+    ``breakdown`` is Table 6: among datasets where naive wins, counts
+    keyed by (black-box family, naive family).  ``win_margins`` is the
+    Fig 14 series: the F-score differences on winning datasets.
+    """
+
+    platform: str
+    n_datasets: int = 0
+    n_naive_wins: int = 0
+    breakdown: dict = field(default_factory=dict)
+    win_margins: list = field(default_factory=list)
+
+    def win_fraction(self) -> float:
+        """Fraction of datasets where the naive strategy won."""
+        return self.n_naive_wins / self.n_datasets if self.n_datasets else float("nan")
+
+    def mean_win_margin(self) -> float:
+        """Average F-score margin on datasets the naive strategy won."""
+        return float(np.mean(self.win_margins)) if self.win_margins else float("nan")
+
+
+def compare_with_blackbox(
+    runner: ExperimentRunner,
+    blackbox: MLaaSPlatform,
+    datasets: list[Dataset],
+    blackbox_families: dict[str, str] | None = None,
+    random_state: int = 0,
+) -> NaiveComparison:
+    """Run §6.3's comparison on a set of datasets.
+
+    Parameters
+    ----------
+    blackbox_families : dict or None
+        Inferred per-dataset family choices of the black box (from
+        :func:`repro.analysis.family.infer_blackbox_families`); when
+        given, the Table 6 breakdown is tallied for datasets the naive
+        strategy wins.
+    """
+    comparison = NaiveComparison(platform=blackbox.name)
+    for dataset in datasets:
+        try:
+            y_test, predictions = runner.predictions_for(
+                blackbox, dataset, Configuration.make()
+            )
+        except Exception:
+            continue
+        blackbox_score = f_score(y_test, predictions)
+        naive = naive_strategy(runner, dataset, random_state=random_state)
+        comparison.n_datasets += 1
+        if naive.f_score > blackbox_score:
+            comparison.n_naive_wins += 1
+            comparison.win_margins.append(naive.f_score - blackbox_score)
+            blackbox_family = (blackbox_families or {}).get(dataset.name)
+            if blackbox_family is not None:
+                key = (blackbox_family, naive.chosen_family)
+                comparison.breakdown[key] = comparison.breakdown.get(key, 0) + 1
+    return comparison

@@ -1,0 +1,87 @@
+"""Plain-text rendering of tables, bars, and CDFs.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output uniform and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_bar_chart", "cdf_points", "render_cdf"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    value_format: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Horizontal ASCII bar chart (for Fig 4/6-style panels)."""
+    finite = [v for v in values if np.isfinite(v)]
+    maximum = max(finite) if finite else 1.0
+    maximum = maximum if maximum > 0 else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if not np.isfinite(value):
+            bar, rendered = "", "n/a"
+        else:
+            bar = "#" * max(0, int(round(width * value / maximum)))
+            rendered = value_format.format(value)
+        lines.append(f"{label.ljust(label_width)} |{bar} {rendered}")
+    return "\n".join(lines)
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, fraction <= value) points."""
+    data = np.sort(np.asarray([v for v in values if np.isfinite(v)], dtype=float))
+    if data.size == 0:
+        return []
+    fractions = np.arange(1, data.size + 1) / data.size
+    return list(zip(data.tolist(), fractions.tolist()))
+
+
+def render_cdf(
+    values: Sequence[float],
+    n_points: int = 10,
+    value_format: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Render an empirical CDF at evenly spaced quantiles."""
+    points = cdf_points(values)
+    lines = [title] if title else []
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    indices = np.linspace(0, len(points) - 1, min(n_points, len(points)))
+    for index in indices.astype(int):
+        value, fraction = points[index]
+        lines.append(f"  CDF({value_format.format(value)}) = {fraction:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Robustness to incorrect input (paper §8 future work).
+
+The paper leaves "robustness to incorrect input" unexplored.  This
+extension measures it directly on the simulators: training labels are
+flipped at increasing rates and each platform's F-score degradation is
+recorded.  The interesting question mirrors the paper's complexity
+thesis — do high-control platforms (whose optimized configurations fit
+harder) degrade *faster* under label noise than conservative defaults?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controls import Configuration
+from repro.datasets.corpus import Dataset
+from repro.learn.metrics import f_score
+from repro.learn.validation import check_random_state
+from repro.platforms.base import MLaaSPlatform
+
+__all__ = ["NoiseCurve", "label_noise_curve", "degradation_slope"]
+
+
+@dataclass
+class NoiseCurve:
+    """F-score of one platform configuration vs training label noise."""
+
+    platform: str
+    dataset: str
+    noise_rates: list = field(default_factory=list)
+    f_scores: list = field(default_factory=list)
+
+    def degradation(self) -> float:
+        """Clean-label F-score minus the worst noisy F-score."""
+        if not self.f_scores:
+            return float("nan")
+        return float(self.f_scores[0] - min(self.f_scores))
+
+
+def _flip_labels(y: np.ndarray, rate: float, rng: np.random.Generator) -> np.ndarray:
+    if rate <= 0.0:
+        return y
+    y = y.copy()
+    classes = np.unique(y)
+    flips = rng.random(y.shape[0]) < rate
+    # Binary flip: swap to the other class.
+    y[flips] = np.where(y[flips] == classes[0], classes[1], classes[0])
+    return y
+
+
+def label_noise_curve(
+    platform: MLaaSPlatform,
+    dataset: Dataset,
+    configuration: Configuration | None = None,
+    noise_rates=(0.0, 0.1, 0.2, 0.3, 0.4),
+    split_seed: int = 7,
+    random_state=0,
+) -> NoiseCurve:
+    """Measure a platform's F-score as training labels are corrupted.
+
+    Test labels stay clean — we measure how noise *in training data*
+    propagates to deployed-model quality, the situation a researcher with
+    an imperfect ground-truth pipeline faces.
+    """
+    rng = check_random_state(random_state)
+    split = dataset.split(random_state=split_seed)
+    configuration = configuration or Configuration.make()
+    curve = NoiseCurve(platform=platform.name, dataset=dataset.name)
+    for rate in noise_rates:
+        y_noisy = _flip_labels(split.y_train, float(rate), rng)
+        if len(np.unique(y_noisy)) < 2:
+            continue
+        dataset_id = platform.upload_dataset(split.X_train, y_noisy)
+        try:
+            model_id = platform.create_model(
+                dataset_id,
+                classifier=configuration.classifier,
+                params=configuration.params_dict or None,
+                feature_selection=configuration.feature_selection,
+            )
+            predictions = platform.batch_predict(model_id, split.X_test)
+            score = f_score(split.y_test, predictions)
+        except Exception:
+            score = 0.0
+        finally:
+            platform.delete_dataset(dataset_id)
+        curve.noise_rates.append(float(rate))
+        curve.f_scores.append(float(score))
+    return curve
+
+
+def degradation_slope(curve: NoiseCurve) -> float:
+    """Least-squares slope of F-score against noise rate (per unit noise).
+
+    More negative = less robust.  NaN when the curve has < 2 points.
+    """
+    if len(curve.noise_rates) < 2:
+        return float("nan")
+    slope = np.polyfit(curve.noise_rates, curve.f_scores, 1)[0]
+    return float(slope)

@@ -1,0 +1,87 @@
+"""Random k-classifier-subset analysis (Fig 8, §5.2 "Partial Knowledge").
+
+The paper asks: if a user experiments with a random subset of k
+classifiers (taking the best of the subset), how close to the full-sweep
+optimum do they get?  Fig 8 plots the average best F-score against k and
+shows k = 3 already lands within a few percent of optimal.
+
+Rather than sampling subsets, we compute the expectation *exactly*: for
+per-classifier best scores sorted ascending ``s_(1) <= ... <= s_(n)``,
+
+    E[max over a uniform random k-subset] =
+        sum_i  s_(i) * C(i-1, k-1) / C(n, k)
+
+because ``s_(i)`` is the subset maximum iff the subset contains item i
+and k-1 of the i-1 smaller items.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from repro.core.results import ResultStore
+from repro.exceptions import ValidationError
+
+__all__ = ["expected_max_of_subset", "subset_performance_curve"]
+
+
+def expected_max_of_subset(scores, k: int) -> float:
+    """Exact E[max of a uniform random k-subset] of ``scores``."""
+    values = np.sort(np.asarray(scores, dtype=float))
+    n = values.size
+    if not 1 <= k <= n:
+        raise ValidationError(f"k must be in [1, {n}], got {k}")
+    total_subsets = comb(n, k)
+    expectation = 0.0
+    for i in range(1, n + 1):  # 1-indexed order statistics
+        ways = comb(i - 1, k - 1)
+        if ways:
+            expectation += values[i - 1] * ways / total_subsets
+    return float(expectation)
+
+
+def _best_per_classifier(
+    store: ResultStore, platform: str, dataset: str
+) -> dict[str, float]:
+    """Each classifier's best F-score on one dataset."""
+    best: dict[str, float] = {}
+    for result in store.for_platform(platform).for_dataset(dataset).ok():
+        abbr = result.configuration.classifier
+        if abbr is None:
+            continue
+        if result.metrics.f_score > best.get(abbr, -1.0):
+            best[abbr] = result.metrics.f_score
+    return best
+
+
+def subset_performance_curve(
+    store: ResultStore, platform: str
+) -> list[tuple[int, float]]:
+    """Fig 8 series for one platform: (k, expected best F-score).
+
+    For every dataset, each classifier is represented by its best
+    configuration in the sweep; the k-subset expectation is computed per
+    dataset and averaged.  k runs from 1 to the number of classifiers the
+    platform exposes.
+    """
+    datasets = store.for_platform(platform).datasets()
+    per_dataset: list[dict[str, float]] = []
+    n_classifiers = 0
+    for dataset in datasets:
+        best = _best_per_classifier(store, platform, dataset)
+        if best:
+            per_dataset.append(best)
+            n_classifiers = max(n_classifiers, len(best))
+    if not per_dataset or n_classifiers == 0:
+        return []
+    curve: list[tuple[int, float]] = []
+    for k in range(1, n_classifiers + 1):
+        expectations = []
+        for best in per_dataset:
+            scores = list(best.values())
+            usable_k = min(k, len(scores))
+            expectations.append(expected_max_of_subset(scores, usable_k))
+        curve.append((k, float(np.mean(expectations))))
+    return curve

@@ -1,0 +1,94 @@
+"""Performance-variation analysis (the paper's §5, Figs 6 and 7).
+
+The risk of a platform is measured by how much its performance varies
+across its configuration space: for each configuration the F-score is
+averaged across datasets, and the spread of those per-configuration
+averages is the platform's variation.  A platform where one poor choice
+costs a lot shows a wide range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.controls import CLF, FEAT, PARA
+from repro.core.results import ResultStore
+
+__all__ = ["VariationSummary", "performance_variation", "per_control_variation"]
+
+
+@dataclass(frozen=True)
+class VariationSummary:
+    """Spread of per-configuration average F-scores for one platform."""
+
+    platform: str
+    minimum: float
+    maximum: float
+    mean: float
+    spread: float
+    n_configurations: int
+
+
+def _per_configuration_averages(results: ResultStore) -> np.ndarray:
+    """Average F-score across datasets for each distinct configuration."""
+    by_configuration: dict = {}
+    for result in results:
+        if not result.ok:
+            continue
+        by_configuration.setdefault(result.configuration, []).append(
+            result.metrics.f_score
+        )
+    if not by_configuration:
+        return np.array([])
+    return np.array([
+        float(np.mean(scores)) for scores in by_configuration.values()
+    ])
+
+
+def performance_variation(store: ResultStore, platform: str) -> VariationSummary:
+    """Fig 6: range of per-configuration average F-scores."""
+    averages = _per_configuration_averages(store.for_platform(platform))
+    if averages.size == 0:
+        nan = float("nan")
+        return VariationSummary(platform, nan, nan, nan, nan, 0)
+    return VariationSummary(
+        platform=platform,
+        minimum=float(averages.min()),
+        maximum=float(averages.max()),
+        mean=float(averages.mean()),
+        spread=float(averages.max() - averages.min()),
+        n_configurations=int(averages.size),
+    )
+
+
+def per_control_variation(
+    control_stores: dict[str, ResultStore],
+    overall_store: ResultStore,
+    platform: str,
+) -> dict[str, float]:
+    """Fig 7: per-control variation normalized by the overall variation.
+
+    For each control dimension, the spread of per-configuration averages
+    when only that control is tuned, divided by the platform's overall
+    spread.  Dimensions the platform does not expose map to NaN (the
+    white boxes of Fig 7).
+    """
+    overall = performance_variation(overall_store, platform).spread
+    shares: dict[str, float] = {}
+    for dimension in (FEAT, CLF, PARA):
+        store = control_stores.get(dimension)
+        if store is None:
+            shares[dimension] = float("nan")
+            continue
+        platform_results = store.for_platform(platform)
+        if len(platform_results.ok()) == 0:
+            shares[dimension] = float("nan")
+            continue
+        spread = performance_variation(store, platform).spread
+        if overall and overall > 0.0 and np.isfinite(overall):
+            shares[dimension] = float(min(spread / overall, 1.0))
+        else:
+            shares[dimension] = float("nan")
+    return shares

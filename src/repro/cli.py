@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Gives downstream users the common study operations without writing code:
+
+* ``corpus``    — list the 119-dataset corpus (Fig 3 characteristics).
+* ``platforms`` — list the platforms and their control surfaces (Table 1).
+* ``baseline``  — run the zero-control protocol and print Table 3(a).
+* ``optimized`` — run the full-sweep protocol and print Fig 4 / Table 3(b).
+* ``boundary``  — probe a platform's decision boundary on a 2-D dataset.
+
+All commands accept ``--datasets`` / ``--size-cap`` to bound runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    boundary_linearity,
+    platform_summary,
+    probe_decision_boundary,
+    render_table,
+)
+from repro.core import MLaaSStudy, StudyScale
+from repro.datasets import CORPUS, load_dataset
+from repro.platforms import ALL_PLATFORMS, make_platform
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MLaaS complexity-vs-performance measurement study "
+                    "(IMC'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corpus", help="list the 119-dataset corpus")
+    sub.add_parser("platforms", help="list platforms and control surfaces")
+
+    for name, help_text in (
+        ("baseline", "run the zero-control protocol (Table 3a)"),
+        ("optimized", "run the full-sweep protocol (Fig 4 / Table 3b)"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--datasets", type=int, default=8,
+                         help="corpus subset size (default 8)")
+        cmd.add_argument("--size-cap", type=int, default=250,
+                         help="per-dataset sample cap (default 250)")
+        cmd.add_argument("--seed", type=int, default=1)
+
+    boundary = sub.add_parser(
+        "boundary", help="probe a platform's decision boundary"
+    )
+    boundary.add_argument("platform", choices=[c.name for c in ALL_PLATFORMS])
+    boundary.add_argument("--dataset", default="synthetic/circle",
+                          help="a 2-feature corpus dataset name")
+    boundary.add_argument("--resolution", type=int, default=60)
+    boundary.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_corpus(out) -> int:
+    rows = [
+        [spec.name, spec.domain, spec.concept, f"{spec.n_samples:,}",
+         spec.n_features]
+        for spec in CORPUS
+    ]
+    print(render_table(
+        ["name", "domain", "concept", "samples", "features"], rows,
+        title=f"Corpus: {len(CORPUS)} datasets",
+    ), file=out)
+    return 0
+
+
+def _cmd_platforms(out) -> int:
+    rows = []
+    for cls in ALL_PLATFORMS:
+        platform = cls()
+        rows.append([
+            platform.name,
+            platform.complexity,
+            ",".join(sorted(platform.exposed_dimensions)) or "none",
+            ",".join(platform.classifier_abbrs()) or "(hidden)",
+            len(platform.controls.feature_selectors),
+        ])
+    print(render_table(
+        ["platform", "complexity", "controls", "classifiers", "# feat sel"],
+        rows, title="Platforms (Table 1 control surfaces)",
+    ), file=out)
+    return 0
+
+
+def _cmd_study(args, optimized: bool, out) -> int:
+    scale = StudyScale(
+        max_datasets=args.datasets, size_cap=args.size_cap,
+        feature_cap=12, para_grid="single_axis" if optimized else "default",
+    )
+    study = MLaaSStudy(scale=scale, random_state=args.seed)
+    store = study.run_optimized() if optimized else study.run_baseline()
+    summaries = platform_summary(store)
+    print(render_table(
+        ["platform", "avg fried.", "f-score", "accuracy", "precision", "recall"],
+        [
+            [s.platform, f"{s.avg_friedman:.1f}"]
+            + [f"{s.avg[m]:.3f}" for m in
+               ("f_score", "accuracy", "precision", "recall")]
+            for s in summaries
+        ],
+        title=("Optimized (best configuration per dataset)" if optimized
+               else "Baseline (zero control)"),
+    ), file=out)
+    return 0
+
+
+def _cmd_boundary(args, out) -> int:
+    dataset = load_dataset(args.dataset, size_cap=500)
+    if dataset.X.shape[1] != 2:
+        print(f"error: {args.dataset} has {dataset.X.shape[1]} features; "
+              "boundary probing needs exactly 2", file=sys.stderr)
+        return 2
+    split = dataset.split(random_state=args.seed)
+    platform = make_platform(args.platform, random_state=args.seed)
+    probe = probe_decision_boundary(
+        platform, split.X_train, split.y_train, resolution=args.resolution
+    )
+    print(probe.render_ascii(width=min(60, args.resolution)), file=out)
+    linearity = boundary_linearity(probe)
+    verdict = "linear" if linearity > 0.95 else "NON-linear"
+    print(f"\nboundary linearity on {args.dataset}: {linearity:.3f} "
+          f"({verdict})", file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "corpus":
+        return _cmd_corpus(out)
+    if args.command == "platforms":
+        return _cmd_platforms(out)
+    if args.command == "baseline":
+        return _cmd_study(args, optimized=False, out=out)
+    if args.command == "optimized":
+        return _cmd_study(args, optimized=True, out=out)
+    if args.command == "boundary":
+        return _cmd_boundary(args, out=out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

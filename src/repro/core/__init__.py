@@ -1,0 +1,34 @@
+"""repro.core — the measurement harness.
+
+Encodes the paper's methodology (§3): control dimensions FEAT / CLF /
+PARA, configuration-space enumeration per platform (Table 1/2), the
+experiment runner that drives each platform's service API, and the study
+orchestration producing baseline / optimized / per-control results.
+"""
+
+from repro.core.config_space import (
+    baseline_configuration,
+    count_measurements,
+    enumerate_configurations,
+    per_control_configurations,
+)
+from repro.core.controls import CLF, FEAT, PARA, Configuration
+from repro.core.results import ExperimentResult, ResultStore
+from repro.core.runner import ExperimentRunner
+from repro.core.study import MLaaSStudy, StudyScale
+
+__all__ = [
+    "FEAT",
+    "CLF",
+    "PARA",
+    "Configuration",
+    "baseline_configuration",
+    "enumerate_configurations",
+    "per_control_configurations",
+    "count_measurements",
+    "ExperimentResult",
+    "ResultStore",
+    "ExperimentRunner",
+    "MLaaSStudy",
+    "StudyScale",
+]

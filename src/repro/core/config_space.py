@@ -1,0 +1,178 @@
+"""Configuration-space enumeration per platform (paper §3.2, Table 2).
+
+The paper's protocol:
+
+* *baseline* — Logistic Regression with platform-default parameters and
+  no feature selection (the zero-control reference).
+* *full sweep* — every combination of FEAT x CLF x PARA the platform
+  exposes.  PARA grids follow the paper: all options for categorical
+  parameters, and the ``D/100, D, 100*D`` scan for numeric ones.
+* *per-control sweeps* — vary exactly one dimension, others at baseline
+  (Figures 5 and 7).
+
+Full Cartesian PARA grids explode on Microsoft (the paper ran 1.7M
+measurements); ``para_grid="single_axis"`` varies one parameter at a time
+around the defaults, which preserves each parameter's marginal effect at
+a fraction of the cost and is the default for benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.controls import CLF, FEAT, PARA, Configuration
+from repro.exceptions import ValidationError
+from repro.platforms.base import ClassifierOption, MLaaSPlatform
+
+__all__ = [
+    "baseline_configuration",
+    "enumerate_configurations",
+    "per_control_configurations",
+    "count_measurements",
+]
+
+
+def baseline_configuration(platform: MLaaSPlatform) -> Configuration:
+    """The platform's zero-control baseline (§3.2).
+
+    Logistic Regression with default parameters where CLF is exposed
+    (LR is the one classifier all such platforms support), the fully
+    automatic mode on black-box platforms.
+    """
+    surface = platform.controls
+    if not surface.classifiers:
+        return Configuration.make()
+    option = surface.classifier("LR")
+    return Configuration.make(classifier="LR", params=option.default_params())
+
+
+def _param_grids(option: ClassifierOption, para_grid: str) -> list[dict]:
+    if para_grid == "full":
+        return option.parameter_grid()
+    if para_grid == "single_axis":
+        return option.single_axis_grid()
+    if para_grid == "default":
+        return [option.default_params()]
+    raise ValidationError(
+        f"unknown para_grid {para_grid!r}; "
+        f"use 'full', 'single_axis' or 'default'"
+    )
+
+
+def _feature_choices(platform: MLaaSPlatform, include: bool) -> list:
+    choices: list = [None]
+    if include and platform.controls.feature_selectors:
+        choices.extend(platform.controls.feature_selectors)
+    return choices
+
+
+def enumerate_configurations(
+    platform: MLaaSPlatform,
+    para_grid: str = "single_axis",
+    include_feat: bool = True,
+) -> Iterator[Configuration]:
+    """Yield the platform's configuration space.
+
+    Black-box platforms yield exactly one (empty) configuration.
+    """
+    surface = platform.controls
+    if not surface.classifiers:
+        yield Configuration.make()
+        return
+    baseline = baseline_configuration(platform)
+    for feature_selection in _feature_choices(platform, include_feat):
+        for option in surface.classifiers:
+            grids = (
+                _param_grids(option, para_grid)
+                if surface.supports_parameter_tuning
+                else [option.default_params()]
+            )
+            for params in grids:
+                tuned = set()
+                if feature_selection is not None:
+                    tuned.add(FEAT)
+                if option.abbr != baseline.classifier:
+                    tuned.add(CLF)
+                if params != option.default_params():
+                    tuned.add(PARA)
+                yield Configuration.make(
+                    classifier=option.abbr,
+                    params=params,
+                    feature_selection=feature_selection,
+                    tuned=tuned,
+                )
+
+
+def per_control_configurations(
+    platform: MLaaSPlatform,
+    dimension: str,
+    para_grid: str = "single_axis",
+) -> list[Configuration]:
+    """Configurations tuning exactly one dimension (others at baseline).
+
+    Used for the per-control improvement (Fig 5) and per-control
+    variation (Fig 7) analyses.  Returns an empty list when the platform
+    does not expose the dimension.
+    """
+    surface = platform.controls
+    baseline = baseline_configuration(platform)
+    configurations: list[Configuration] = []
+    if dimension == FEAT:
+        for feature_selection in surface.feature_selectors:
+            configurations.append(Configuration.make(
+                classifier=baseline.classifier,
+                params=baseline.params_dict,
+                feature_selection=feature_selection,
+                tuned={FEAT},
+            ))
+    elif dimension == CLF:
+        if len(surface.classifiers) > 1:
+            for option in surface.classifiers:
+                configurations.append(Configuration.make(
+                    classifier=option.abbr,
+                    params=option.default_params(),
+                    tuned={CLF} if option.abbr != baseline.classifier else set(),
+                ))
+    elif dimension == PARA:
+        if surface.supports_parameter_tuning and surface.classifiers:
+            option = surface.classifier(baseline.classifier)
+            for params in _param_grids(option, para_grid):
+                configurations.append(Configuration.make(
+                    classifier=baseline.classifier,
+                    params=params,
+                    tuned={PARA} if params != option.default_params() else set(),
+                ))
+    else:
+        raise ValidationError(
+            f"unknown control dimension {dimension!r}; use FEAT, CLF or PARA"
+        )
+    return configurations
+
+
+def count_measurements(
+    platform: MLaaSPlatform,
+    n_datasets: int = 119,
+    para_grid: str = "full",
+) -> dict:
+    """Reproduce a Table 2 row: control-space sizes and total measurements.
+
+    With ``para_grid="full"`` the count is the full Cartesian product the
+    paper enumerates; the default Table 2 reproduction uses it.
+    """
+    surface = platform.controls
+    n_feature_selectors = len(surface.feature_selectors)
+    n_classifiers = max(1, len(surface.classifiers))
+    n_parameters = sum(
+        len(option.parameters) for option in surface.classifiers
+    ) if surface.supports_parameter_tuning else 0
+    total_configs = sum(
+        1 for _ in enumerate_configurations(platform, para_grid=para_grid)
+    )
+    return {
+        "platform": platform.name,
+        "n_feature_selectors": n_feature_selectors,
+        "n_classifiers": n_classifiers,
+        "n_parameters": n_parameters,
+        "configs_per_dataset": total_configs,
+        "total_measurements": total_configs * n_datasets,
+    }

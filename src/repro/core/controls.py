@@ -1,0 +1,78 @@
+"""Control dimensions and pipeline configurations.
+
+The paper groups user control over the ML pipeline into three dimensions
+(§3.2): Preprocessing + Feature Selection (FEAT), Classifier Choice (CLF)
+and Parameter Tuning (PARA).  A :class:`Configuration` pins a value for
+each dimension; the measurement harness varies them per the study
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FEAT", "CLF", "PARA", "CONTROL_DIMENSIONS", "Configuration"]
+
+#: Feature selection / preprocessing control dimension.
+FEAT = "FEAT"
+#: Classifier choice control dimension.
+CLF = "CLF"
+#: Parameter tuning control dimension.
+PARA = "PARA"
+
+#: All control dimensions in the paper's presentation order.
+CONTROL_DIMENSIONS = (FEAT, CLF, PARA)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One point in a platform's configuration space.
+
+    Attributes
+    ----------
+    classifier : str or None
+        Classifier abbreviation, or ``None`` for black-box platforms.
+    params : tuple of (name, value)
+        Classifier parameters as a sorted tuple (hashable, so
+        configurations can key dicts/sets).
+    feature_selection : str or None
+        Feature-selection choice, or ``None`` for no feature selection.
+    tuned : frozenset of str
+        Which control dimensions deviate from the baseline; used by the
+        per-control analyses (Fig 5 / Fig 7).
+    """
+
+    classifier: str | None = None
+    params: tuple = ()
+    feature_selection: str | None = None
+    tuned: frozenset = field(default_factory=frozenset)
+
+    @staticmethod
+    def make(
+        classifier: str | None = None,
+        params: dict | None = None,
+        feature_selection: str | None = None,
+        tuned=(),
+    ) -> "Configuration":
+        """Build a configuration from a plain params dict."""
+        items = tuple(sorted((params or {}).items(), key=lambda kv: kv[0]))
+        return Configuration(
+            classifier=classifier,
+            params=items,
+            feature_selection=feature_selection,
+            tuned=frozenset(tuned),
+        )
+
+    @property
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Short human-readable identifier for logs and reports."""
+        parts = [self.classifier or "auto"]
+        if self.feature_selection:
+            parts.append(f"feat={self.feature_selection}")
+        if self.params:
+            rendered = ",".join(f"{k}={v}" for k, v in self.params)
+            parts.append(rendered)
+        return "|".join(parts)

@@ -1,0 +1,167 @@
+"""Experiment result records and the result store.
+
+Every (platform, dataset, configuration) measurement produces an
+:class:`ExperimentResult` holding the four paper metrics.  A
+:class:`ResultStore` collects them with the query shapes the analysis
+package needs (per-platform, per-dataset, per-control) and round-trips to
+JSON so long sweeps can be checkpointed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.controls import Configuration
+from repro.learn.metrics import MetricSummary
+
+__all__ = ["ExperimentResult", "ResultStore"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One measurement: a configuration evaluated on one dataset."""
+
+    platform: str
+    dataset: str
+    configuration: Configuration
+    metrics: MetricSummary
+    status: str = "ok"           # "ok" or "failed"
+    failure_reason: str | None = None
+    metadata: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def f_score(self) -> float:
+        return self.metrics.f_score
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of this result."""
+        return {
+            "platform": self.platform,
+            "dataset": self.dataset,
+            "classifier": self.configuration.classifier,
+            "params": list(self.configuration.params),
+            "feature_selection": self.configuration.feature_selection,
+            "tuned": sorted(self.configuration.tuned),
+            "metrics": self.metrics.as_dict(),
+            "status": self.status,
+            "failure_reason": self.failure_reason,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ExperimentResult":
+        configuration = Configuration.make(
+            classifier=data["classifier"],
+            params={name: value for name, value in data["params"]},
+            feature_selection=data["feature_selection"],
+            tuned=data["tuned"],
+        )
+        metrics = MetricSummary(**data["metrics"])
+        return ExperimentResult(
+            platform=data["platform"],
+            dataset=data["dataset"],
+            configuration=configuration,
+            metrics=metrics,
+            status=data.get("status", "ok"),
+            failure_reason=data.get("failure_reason"),
+        )
+
+
+class ResultStore:
+    """Append-only collection of experiment results with query helpers."""
+
+    def __init__(self, results: Iterable[ExperimentResult] = ()):
+        self._results: list[ExperimentResult] = list(results)
+
+    def add(self, result: ExperimentResult) -> None:
+        """Append one result."""
+        self._results.append(result)
+
+    def extend(self, results: Iterable[ExperimentResult]) -> None:
+        """Append many results."""
+        self._results.extend(results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self._results)
+
+    # -- queries ---------------------------------------------------------
+
+    def ok(self) -> "ResultStore":
+        """Successful measurements only."""
+        return ResultStore(r for r in self._results if r.ok)
+
+    def where(self, predicate: Callable[[ExperimentResult], bool]) -> "ResultStore":
+        """Results satisfying an arbitrary predicate."""
+        return ResultStore(r for r in self._results if predicate(r))
+
+    def for_platform(self, platform: str) -> "ResultStore":
+        """Results belonging to one platform."""
+        return self.where(lambda r: r.platform == platform)
+
+    def for_dataset(self, dataset: str) -> "ResultStore":
+        """Results belonging to one dataset."""
+        return self.where(lambda r: r.dataset == dataset)
+
+    def platforms(self) -> list[str]:
+        """Sorted platform names present in the store."""
+        return sorted({r.platform for r in self._results})
+
+    def datasets(self) -> list[str]:
+        """Sorted dataset names present in the store."""
+        return sorted({r.dataset for r in self._results})
+
+    def best_per_dataset(self, metric: str = "f_score") -> dict[str, ExperimentResult]:
+        """Best successful result per dataset by the given metric."""
+        best: dict[str, ExperimentResult] = {}
+        for result in self._results:
+            if not result.ok:
+                continue
+            value = getattr(result.metrics, metric)
+            current = best.get(result.dataset)
+            if current is None or value > getattr(current.metrics, metric):
+                best[result.dataset] = result
+        return best
+
+    def scores_by_dataset(self, metric: str = "f_score") -> dict[str, list[float]]:
+        """All successful scores grouped by dataset."""
+        grouped: dict[str, list[float]] = {}
+        for result in self._results:
+            if result.ok:
+                grouped.setdefault(result.dataset, []).append(
+                    getattr(result.metrics, metric)
+                )
+        return grouped
+
+    def mean_score(self, metric: str = "f_score") -> float:
+        """Mean of per-dataset *best* scores — the paper's 'optimized'
+        aggregation (§4.1): pick the best configuration per dataset, then
+        average across datasets."""
+        best = self.best_per_dataset(metric)
+        if not best:
+            return float("nan")
+        return float(np.mean([
+            getattr(result.metrics, metric) for result in best.values()
+        ]))
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the store to a JSON file (see :meth:`load`)."""
+        payload = [result.to_dict() for result in self._results]
+        Path(path).write_text(json.dumps(payload, indent=1, default=str))
+
+    @staticmethod
+    def load(path: str | Path) -> "ResultStore":
+        payload = json.loads(Path(path).read_text())
+        return ResultStore(ExperimentResult.from_dict(item) for item in payload)

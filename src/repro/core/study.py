@@ -1,0 +1,230 @@
+"""Study orchestration: the paper's three measurement protocols.
+
+:class:`MLaaSStudy` drives all seven platforms over a dataset corpus and
+produces the result stores consumed by :mod:`repro.analysis`:
+
+* ``run_baseline()`` — one zero-control measurement per (platform,
+  dataset), reproducing the "baseline" bars of Fig 4 and Table 3a.
+* ``run_optimized()`` — the full configuration sweep per platform; the
+  per-dataset best reproduces the "optimized" bars of Fig 4, Table 3b,
+  and the sweep itself feeds Figs 5–8 and Table 4.
+* ``run_per_control(dimension)`` — tune one control, others at baseline
+  (Figs 5 and 7).
+
+A :class:`StudyScale` preset bounds corpus size and grid resolution so
+the same code runs as a quick test, a laptop bench, or a paper-scale
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config_space import (
+    baseline_configuration,
+    enumerate_configurations,
+    per_control_configurations,
+)
+from repro.core.controls import CONTROL_DIMENSIONS
+from repro.core.results import ResultStore
+from repro.core.runner import ExperimentRunner
+from repro.datasets.corpus import Dataset, load_corpus
+from repro.platforms import ALL_PLATFORMS
+from repro.platforms.base import MLaaSPlatform
+
+__all__ = ["StudyScale", "MLaaSStudy"]
+
+
+@dataclass(frozen=True)
+class StudyScale:
+    """Resource preset for a study run.
+
+    Attributes
+    ----------
+    max_datasets : int or None
+        Corpus subset size (None = all 119).
+    size_cap : int or None
+        Per-dataset row cap.
+    feature_cap : int or None
+        Per-dataset column cap.
+    para_grid : str
+        "single_axis" (default), "full", or "default".
+    """
+
+    max_datasets: int | None = 12
+    size_cap: int | None = 400
+    feature_cap: int | None = 30
+    para_grid: str = "single_axis"
+
+    @staticmethod
+    def tiny() -> "StudyScale":
+        """A seconds-scale preset for tests."""
+        return StudyScale(max_datasets=4, size_cap=150, feature_cap=8,
+                          para_grid="default")
+
+    @staticmethod
+    def small() -> "StudyScale":
+        """The default minutes-scale bench preset."""
+        return StudyScale()
+
+    @staticmethod
+    def paper() -> "StudyScale":
+        """Full corpus, full grids — the paper-scale protocol."""
+        return StudyScale(max_datasets=None, size_cap=None, feature_cap=None,
+                          para_grid="full")
+
+
+class MLaaSStudy:
+    """End-to-end measurement study over all platforms and a corpus.
+
+    Parameters
+    ----------
+    scale : StudyScale
+        Resource preset.
+    platforms : sequence of platform classes or instances, or None
+        Defaults to all seven platforms in complexity order.
+    random_state : int
+        Seed shared by corpus subsetting and platform internals.
+    """
+
+    def __init__(
+        self,
+        scale: StudyScale | None = None,
+        platforms=None,
+        random_state: int = 0,
+    ):
+        self.scale = scale or StudyScale.small()
+        self.random_state = random_state
+        platform_sources = platforms if platforms is not None else ALL_PLATFORMS
+        self.platforms: list[MLaaSPlatform] = [
+            source if isinstance(source, MLaaSPlatform)
+            else source(random_state=random_state)
+            for source in platform_sources
+        ]
+        self.runner = ExperimentRunner(split_seed=random_state + 7)
+        self._corpus: list[Dataset] | None = None
+
+    @property
+    def corpus(self) -> list[Dataset]:
+        """The study's dataset corpus (loaded lazily, then cached)."""
+        if self._corpus is None:
+            self._corpus = load_corpus(
+                max_datasets=self.scale.max_datasets,
+                size_cap=self.scale.size_cap,
+                feature_cap=self.scale.feature_cap,
+                random_state=self.random_state,
+            )
+        return self._corpus
+
+    def platform(self, name: str) -> MLaaSPlatform:
+        """Look up one of the study's platform instances by name."""
+        for platform in self.platforms:
+            if platform.name == name:
+                return platform
+        raise KeyError(f"study has no platform {name!r}")
+
+    # -- protocols ---------------------------------------------------------
+
+    def run_baseline(self) -> ResultStore:
+        """Zero-control measurement of every platform on every dataset."""
+        store = ResultStore()
+        for platform in self.platforms:
+            configuration = baseline_configuration(platform)
+            store.extend(
+                self.runner.sweep(platform, self.corpus, [configuration])
+            )
+        return store
+
+    def run_optimized(self, platforms: list[str] | None = None) -> ResultStore:
+        """Full configuration sweep (the 'optimized' protocol, §4.1)."""
+        store = ResultStore()
+        for platform in self.platforms:
+            if platforms is not None and platform.name not in platforms:
+                continue
+            configurations = list(enumerate_configurations(
+                platform, para_grid=self.scale.para_grid
+            ))
+            store.extend(
+                self.runner.sweep(platform, self.corpus, configurations)
+            )
+        return store
+
+    def run_per_control(self, dimension: str) -> ResultStore:
+        """Tune one control dimension, others at baseline (Figs 5, 7)."""
+        store = ResultStore()
+        for platform in self.platforms:
+            configurations = per_control_configurations(
+                platform, dimension, para_grid=self.scale.para_grid
+            )
+            if not configurations:
+                continue  # platform does not expose this control
+            store.extend(
+                self.runner.sweep(platform, self.corpus, configurations)
+            )
+        return store
+
+    def run_all_controls(self) -> dict[str, ResultStore]:
+        """Per-control sweeps for all three dimensions."""
+        return {
+            dimension: self.run_per_control(dimension)
+            for dimension in CONTROL_DIMENSIONS
+        }
+
+    def run_blackbox_audit(
+        self,
+        max_configs_per_classifier: int = 3,
+        qualification_threshold: float = 0.95,
+    ) -> dict:
+        """The §6 pipeline end to end against this study's black boxes.
+
+        1. Collect family-labelled observations from every platform that
+           exposes classifier choice.
+        2. Train per-dataset family predictors; keep the qualified ones.
+        3. Infer each black-box platform's per-dataset family choice.
+        4. Compare each black box against the naive LR-vs-DT strategy.
+
+        Returns a dict with ``predictors``, ``reports`` (per black box)
+        and ``comparisons`` (per black box).
+        """
+        # Imported here to keep repro.core free of an analysis dependency
+        # at import time (analysis imports core).
+        from repro.analysis.family import (
+            collect_family_observations,
+            infer_blackbox_families,
+            train_family_predictors,
+        )
+        from repro.analysis.naive import compare_with_blackbox
+
+        ground_truth_platforms = [
+            platform for platform in self.platforms
+            if platform.controls.classifiers
+        ]
+        blackboxes = [
+            platform for platform in self.platforms
+            if not platform.controls.classifiers
+        ]
+        observations = collect_family_observations(
+            self.runner, ground_truth_platforms, self.corpus,
+            max_configs_per_classifier=max_configs_per_classifier,
+        )
+        predictors = train_family_predictors(
+            observations, random_state=self.random_state,
+            qualification_threshold=qualification_threshold,
+        )
+        reports = {}
+        comparisons = {}
+        for blackbox in blackboxes:
+            report = infer_blackbox_families(
+                self.runner, blackbox, self.corpus, predictors
+            )
+            reports[blackbox.name] = report
+            comparisons[blackbox.name] = compare_with_blackbox(
+                self.runner, blackbox, self.corpus,
+                blackbox_families=report.choices,
+                random_state=self.random_state,
+            )
+        return {
+            "predictors": predictors,
+            "reports": reports,
+            "comparisons": comparisons,
+        }

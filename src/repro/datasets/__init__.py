@@ -1,0 +1,63 @@
+"""repro.datasets — the 119-dataset corpus of the paper, rebuilt synthetically.
+
+The original study uses 94 UCI datasets, 16 scikit-learn synthetic datasets
+and 9 datasets from applied-ML papers (Figure 3).  Those exact datasets are
+not redistributable offline, so this package provides a deterministic
+synthetic corpus whose *marginals match Figure 3*: the same domain
+breakdown, the same sample-count range (15 – 245,057) and the same
+feature-count range (1 – 4,702), with heterogeneous decision concepts
+(linear, polynomial, rule-based, cluster, radial, sparse) so that — as in
+the paper — no single classifier family dominates.
+
+Two probe datasets used throughout §6 are exposed by name: ``CIRCLE``
+(non-linearly-separable) and ``LINEAR`` (linearly-separable, noisy).
+"""
+
+from repro.datasets.corpus import (
+    Dataset,
+    SplitDataset,
+    load_dataset,
+    load_corpus,
+    preprocess,
+)
+from repro.datasets.io import load_csv, save_csv
+from repro.datasets.registry import (
+    CORPUS,
+    DOMAIN_COUNTS,
+    DatasetSpec,
+    corpus_domain_breakdown,
+    get_spec,
+)
+from repro.datasets.synthetic import (
+    make_blobs,
+    make_circles,
+    make_classification,
+    make_moons,
+    make_rule_concept,
+    make_sparse_linear,
+    make_spirals,
+    make_xor,
+)
+
+__all__ = [
+    "Dataset",
+    "SplitDataset",
+    "DatasetSpec",
+    "CORPUS",
+    "DOMAIN_COUNTS",
+    "get_spec",
+    "corpus_domain_breakdown",
+    "load_dataset",
+    "load_corpus",
+    "load_csv",
+    "save_csv",
+    "preprocess",
+    "make_circles",
+    "make_classification",
+    "make_moons",
+    "make_blobs",
+    "make_xor",
+    "make_spirals",
+    "make_rule_concept",
+    "make_sparse_linear",
+]

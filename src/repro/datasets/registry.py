@@ -1,0 +1,284 @@
+"""The 119-dataset corpus registry.
+
+Builds a deterministic list of :class:`DatasetSpec` entries whose corpus
+marginals match Figure 3 of the paper:
+
+* domain breakdown (Fig 3a): Life Science 44, Computer & Games 18,
+  Synthetic 17, Social Science 10, Physical Science 10, Financial &
+  Business 7, Other 13 — total 119;
+* sample counts (Fig 3b) spanning 15 … 245,057 with a log-scale CDF
+  concentrated between 100 and 10k;
+* feature counts (Fig 3c) spanning 1 … 4,702 concentrated between 2 and
+  100.
+
+Each spec pins a concept generator plus realism knobs (categorical
+columns, missing values, class imbalance, label noise) drawn
+deterministically from a per-corpus seed, so ``CORPUS[i]`` is identical in
+every process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "DatasetSpec",
+    "CORPUS",
+    "DOMAIN_COUNTS",
+    "get_spec",
+    "corpus_domain_breakdown",
+    "PROBE_CIRCLE",
+    "PROBE_LINEAR",
+]
+
+#: Figure 3(a) domain breakdown.
+DOMAIN_COUNTS = {
+    "life_science": 44,
+    "computer_games": 18,
+    "synthetic": 17,
+    "social_science": 10,
+    "physical_science": 10,
+    "financial_business": 7,
+    "other": 13,
+}
+
+#: Concept mix per domain: (concept, relative weight).  The mixes make
+#: tree/rule learners win on game/business data, linear models win on
+#: social/physical data, and keep life science heterogeneous — giving the
+#: corpus the "no classifier dominates" property of Table 4.
+_DOMAIN_CONCEPTS = {
+    "life_science": [
+        ("polynomial", 0.35), ("rule", 0.25), ("sparse_linear", 0.2),
+        ("linear", 0.2),
+    ],
+    "computer_games": [("rule", 0.6), ("xor", 0.15), ("polynomial", 0.25)],
+    "social_science": [("linear", 0.55), ("rule", 0.3), ("polynomial", 0.15)],
+    "physical_science": [("polynomial", 0.45), ("linear", 0.4), ("radial", 0.15)],
+    "financial_business": [("rule", 0.45), ("linear", 0.4), ("polynomial", 0.15)],
+    "other": [
+        ("linear", 0.3), ("rule", 0.3), ("polynomial", 0.25),
+        ("sparse_linear", 0.15),
+    ],
+}
+
+#: The 17 synthetic datasets are named generators (the paper's 16
+#: scikit-learn synthetic datasets + 1); CIRCLE and LINEAR are §6's probes.
+_SYNTHETIC_DATASETS = [
+    ("circle", "circles", {"noise": 0.1, "factor": 0.5}),
+    ("linear", "linear", {"n_features": 2, "class_sep": 2.0, "flip_y": 0.1}),
+    ("moons_easy", "moons", {"noise": 0.1}),
+    ("moons_hard", "moons", {"noise": 0.3}),
+    ("circles_tight", "circles", {"noise": 0.05, "factor": 0.7}),
+    ("circles_noisy", "circles", {"noise": 0.25, "factor": 0.5}),
+    ("xor", "xor", {"noise": 0.15}),
+    ("xor_high_dim", "xor", {"n_features": 10, "noise": 0.2}),
+    ("spirals", "spirals", {"noise": 0.1}),
+    ("spirals_long", "spirals", {"noise": 0.1, "turns": 2.5}),
+    ("blobs_simple", "blobs", {"clusters_per_class": 1, "cluster_std": 1.5}),
+    ("blobs_multi", "blobs", {"clusters_per_class": 3, "cluster_std": 1.0}),
+    ("gauss_quantiles", "radial", {}),
+    ("linear_overlap", "linear", {"n_features": 2, "class_sep": 0.8, "flip_y": 0.1}),
+    ("linear_10d", "linear", {"n_features": 10, "class_sep": 1.5, "flip_y": 0.05}),
+    ("linear_imbalanced", "linear", {"n_features": 5, "class_sep": 1.5, "weights": 0.85}),
+    ("poly_5d", "polynomial", {"n_features": 5, "degree": 3}),
+]
+
+PROBE_CIRCLE = "synthetic/circle"
+PROBE_LINEAR = "synthetic/linear"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Immutable description of one corpus dataset.
+
+    Attributes
+    ----------
+    name : str
+        Unique corpus identifier, ``"<domain>/<slug>"``.
+    domain : str
+        Application domain (Fig 3a key).
+    concept : str
+        Concept generator key (see :mod:`repro.datasets.corpus`).
+    n_samples : int
+        Full dataset size (15 … 245,057 per Fig 3b).
+    n_features : int
+        Dimensionality (1 … 4,702 per Fig 3c).
+    generator_kwargs : dict
+        Extra arguments to the concept generator.
+    n_categorical : int
+        How many features are rendered as categorical strings before
+        preprocessing (exercises the ordinal-encoding path of §3.1).
+    missing_rate : float
+        Fraction of cells blanked to NaN (exercises median imputation).
+    seed : int
+        Deterministic generation seed.
+    """
+
+    name: str
+    domain: str
+    concept: str
+    n_samples: int
+    n_features: int
+    generator_kwargs: dict = field(default_factory=dict)
+    n_categorical: int = 0
+    missing_rate: float = 0.0
+    seed: int = 0
+
+
+def _log_uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+
+def _draw_concept(rng: np.random.Generator, domain: str) -> str:
+    concepts, weights = zip(*_DOMAIN_CONCEPTS[domain])
+    probabilities = np.asarray(weights) / np.sum(weights)
+    return str(rng.choice(concepts, p=probabilities))
+
+
+def _sample_size(rng: np.random.Generator) -> int:
+    """Sample-count distribution shaped like Fig 3b (log scale 15..245k)."""
+    return max(15, int(_log_uniform(rng, 40, 60_000)))
+
+
+def _feature_count(rng: np.random.Generator, concept: str) -> int:
+    """Feature-count distribution shaped like Fig 3c."""
+    if concept == "sparse_linear":
+        return int(_log_uniform(rng, 100, 3000))
+    return max(2, int(_log_uniform(rng, 2, 120)))
+
+
+def _build_corpus(corpus_seed: int = 20171101) -> list[DatasetSpec]:
+    """Construct all 119 specs deterministically."""
+    rng = np.random.default_rng(corpus_seed)
+    specs: list[DatasetSpec] = []
+
+    # Synthetic datasets: 2 features, no categoricals/missing values —
+    # exactly like the paper's sklearn-generated datasets.
+    for slug, concept, kwargs in _SYNTHETIC_DATASETS:
+        n_samples = max(200, int(_log_uniform(rng, 300, 3000)))
+        n_features = int(kwargs.get("n_features", 2))
+        specs.append(DatasetSpec(
+            name=f"synthetic/{slug}",
+            domain="synthetic",
+            concept=concept,
+            n_samples=n_samples,
+            n_features=n_features,
+            generator_kwargs=dict(kwargs),
+            seed=int(rng.integers(0, 2**31)),
+        ))
+
+    for domain, count in DOMAIN_COUNTS.items():
+        if domain == "synthetic":
+            continue
+        for index in range(count):
+            concept = _draw_concept(rng, domain)
+            n_samples = _sample_size(rng)
+            n_features = _feature_count(rng, concept)
+            # Social science & business data carry the most categoricals
+            # and missing values; synthetic-style concepts carry none.
+            categorical_share = {
+                "life_science": 0.2,
+                "computer_games": 0.25,
+                "social_science": 0.5,
+                "physical_science": 0.0,
+                "financial_business": 0.4,
+                "other": 0.2,
+            }[domain]
+            n_categorical = int(round(categorical_share * min(n_features, 20) * rng.random()))
+            missing_rate = float(rng.random() < 0.4) * float(rng.uniform(0.0, 0.08))
+            kwargs: dict = {}
+            if concept == "linear":
+                kwargs = {
+                    "class_sep": float(rng.uniform(0.8, 2.5)),
+                    "flip_y": float(rng.uniform(0.0, 0.12)),
+                    "weights": float(rng.uniform(0.3, 0.8)),
+                }
+            elif concept == "rule":
+                kwargs = {
+                    "n_rules": int(rng.integers(1, 5)),
+                    "flip_y": float(rng.uniform(0.0, 0.1)),
+                }
+            elif concept == "polynomial":
+                kwargs = {
+                    "degree": int(rng.integers(2, 4)),
+                    "flip_y": float(rng.uniform(0.0, 0.1)),
+                }
+            elif concept == "sparse_linear":
+                kwargs = {
+                    "n_informative": int(rng.integers(3, 15)),
+                    "noise": float(rng.uniform(0.2, 1.0)),
+                }
+            elif concept == "xor":
+                kwargs = {"noise": float(rng.uniform(0.1, 0.3))}
+            specs.append(DatasetSpec(
+                name=f"{domain}/{domain[:4]}_{index:02d}",
+                domain=domain,
+                concept=concept,
+                n_samples=n_samples,
+                n_features=n_features,
+                generator_kwargs=kwargs,
+                n_categorical=n_categorical,
+                missing_rate=missing_rate,
+                seed=int(rng.integers(0, 2**31)),
+            ))
+
+    # Pin the corpus extremes to the exact values reported in §3.1:
+    # smallest dataset 15 samples, largest 245,057; dimensionality from
+    # 1 to 4,702 features.
+    def _replace(index: int, **changes) -> None:
+        spec = specs[index]
+        values = spec.__dict__ | changes
+        specs[index] = DatasetSpec(**values)
+
+    by_domain_first = {s.domain: i for i, s in reversed(list(enumerate(specs)))}
+    _replace(
+        by_domain_first["life_science"],
+        n_samples=15, n_features=4, concept="linear",
+        generator_kwargs={"class_sep": 2.5, "flip_y": 0.0},
+        n_categorical=0, missing_rate=0.0,
+    )
+    _replace(
+        by_domain_first["computer_games"],
+        n_samples=245_057, n_features=4, concept="rule",
+        generator_kwargs={"n_rules": 2, "flip_y": 0.02},
+        n_categorical=0, missing_rate=0.0,
+    )
+    _replace(
+        by_domain_first["social_science"],
+        n_samples=1_000, n_features=1, concept="linear",
+        generator_kwargs={"class_sep": 1.5, "flip_y": 0.05},
+        n_categorical=0, missing_rate=0.0,
+    )
+    _replace(
+        by_domain_first["other"],
+        n_samples=300, n_features=4_702, concept="sparse_linear",
+        generator_kwargs={"n_informative": 10, "noise": 0.3},
+        n_categorical=0, missing_rate=0.0,
+    )
+    return specs
+
+
+#: The full, deterministic 119-dataset corpus.
+CORPUS: list[DatasetSpec] = _build_corpus()
+
+_BY_NAME = {spec.name: spec for spec in CORPUS}
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a corpus dataset by its ``"<domain>/<slug>"`` name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"no corpus dataset named {name!r}; see repro.datasets.CORPUS"
+        ) from None
+
+
+def corpus_domain_breakdown() -> dict[str, int]:
+    """Return domain -> dataset count (reproduces Fig 3a)."""
+    breakdown: dict[str, int] = {}
+    for spec in CORPUS:
+        breakdown[spec.domain] = breakdown.get(spec.domain, 0) + 1
+    return breakdown

@@ -1,0 +1,307 @@
+"""Synthetic dataset generators.
+
+The first group mirrors the scikit-learn generators the paper uses for its
+16 synthetic datasets (``make_circles``, ``make_classification``/LINEAR,
+``make_moons``, ``make_blobs``, gaussian quantiles).  The second group adds
+concept generators (rule-based, XOR, spirals, sparse-linear) used by the
+UCI-like corpus families to diversify decision-boundary shapes.
+
+Every generator takes a ``random_state`` and is fully deterministic given
+it.  All return ``(X, y)`` with ``y`` in {0, 1}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learn.validation import check_random_state
+
+__all__ = [
+    "make_circles",
+    "make_classification",
+    "make_moons",
+    "make_blobs",
+    "make_gaussian_quantiles",
+    "make_xor",
+    "make_spirals",
+    "make_rule_concept",
+    "make_sparse_linear",
+    "make_polynomial_concept",
+]
+
+
+def _check_n(n_samples: int, minimum: int = 4) -> None:
+    if n_samples < minimum:
+        raise ValidationError(f"n_samples must be >= {minimum}, got {n_samples}")
+
+
+def make_circles(
+    n_samples: int = 500,
+    noise: float = 0.1,
+    factor: float = 0.5,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two concentric circles — the paper's CIRCLE probe dataset (Fig 9a).
+
+    Class 0 is the outer circle (radius 1), class 1 the inner circle
+    (radius ``factor``), with isotropic Gaussian ``noise``.
+    """
+    _check_n(n_samples)
+    if not 0.0 < factor < 1.0:
+        raise ValidationError(f"factor must be in (0, 1), got {factor}")
+    rng = check_random_state(random_state)
+    n_inner = n_samples // 2
+    n_outer = n_samples - n_inner
+    angles_outer = rng.uniform(0.0, 2.0 * np.pi, n_outer)
+    angles_inner = rng.uniform(0.0, 2.0 * np.pi, n_inner)
+    outer = np.column_stack([np.cos(angles_outer), np.sin(angles_outer)])
+    inner = factor * np.column_stack([np.cos(angles_inner), np.sin(angles_inner)])
+    X = np.vstack([outer, inner])
+    if noise > 0.0:
+        X = X + rng.normal(scale=noise, size=X.shape)
+    y = np.concatenate([np.zeros(n_outer, dtype=int), np.ones(n_inner, dtype=int)])
+    order = rng.permutation(n_samples)
+    return X[order], y[order]
+
+
+def make_classification(
+    n_samples: int = 500,
+    n_features: int = 2,
+    n_informative: int | None = None,
+    class_sep: float = 1.0,
+    flip_y: float = 0.05,
+    weights: float = 0.5,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Linearly separable classes with label noise — the LINEAR probe.
+
+    Two Gaussian clusters on opposite sides of a random hyperplane, with
+    ``flip_y`` label noise.  The paper's LINEAR dataset (Fig 9b) is this
+    generator with 2 features and visible noise.
+
+    Parameters
+    ----------
+    weights : float
+        Fraction of samples in class 0 (class imbalance knob).
+    """
+    _check_n(n_samples)
+    if n_features < 1:
+        raise ValidationError(f"n_features must be >= 1, got {n_features}")
+    if n_informative is None:
+        n_informative = n_features
+    n_informative = min(n_informative, n_features)
+    if not 0.0 < weights < 1.0:
+        raise ValidationError(f"weights must be in (0, 1), got {weights}")
+    rng = check_random_state(random_state)
+    direction = rng.normal(size=n_informative)
+    direction /= np.linalg.norm(direction)
+    n_class0 = int(round(weights * n_samples))
+    n_class0 = min(max(n_class0, 1), n_samples - 1)
+    y = np.concatenate([
+        np.zeros(n_class0, dtype=int),
+        np.ones(n_samples - n_class0, dtype=int),
+    ])
+    X = rng.normal(size=(n_samples, n_features))
+    signs = np.where(y == 1, 1.0, -1.0)
+    X[:, :n_informative] += (
+        signs[:, None] * (class_sep / 2.0) * direction[None, :]
+    )
+    # Always consume the flip draw so that two calls with the same seed and
+    # different flip_y produce the same X (only labels differ).
+    flips = rng.random(n_samples) < flip_y
+    y[flips] = 1 - y[flips]
+    order = rng.permutation(n_samples)
+    return X[order], y[order]
+
+
+def make_moons(
+    n_samples: int = 500,
+    noise: float = 0.1,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two interleaving half-moons (classic non-linear benchmark)."""
+    _check_n(n_samples)
+    rng = check_random_state(random_state)
+    n_upper = n_samples // 2
+    n_lower = n_samples - n_upper
+    theta_upper = rng.uniform(0.0, np.pi, n_upper)
+    theta_lower = rng.uniform(0.0, np.pi, n_lower)
+    upper = np.column_stack([np.cos(theta_upper), np.sin(theta_upper)])
+    lower = np.column_stack([1.0 - np.cos(theta_lower), 0.5 - np.sin(theta_lower)])
+    X = np.vstack([upper, lower])
+    if noise > 0.0:
+        X = X + rng.normal(scale=noise, size=X.shape)
+    y = np.concatenate([np.zeros(n_upper, dtype=int), np.ones(n_lower, dtype=int)])
+    order = rng.permutation(n_samples)
+    return X[order], y[order]
+
+
+def make_blobs(
+    n_samples: int = 500,
+    n_features: int = 2,
+    clusters_per_class: int = 2,
+    cluster_std: float = 1.0,
+    spread: float = 5.0,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Multiple Gaussian blobs per class scattered in feature space."""
+    _check_n(n_samples)
+    if clusters_per_class < 1:
+        raise ValidationError("clusters_per_class must be >= 1")
+    rng = check_random_state(random_state)
+    centers = rng.uniform(-spread, spread, size=(2 * clusters_per_class, n_features))
+    X = np.empty((n_samples, n_features))
+    y = np.empty(n_samples, dtype=int)
+    assignments = rng.integers(0, 2 * clusters_per_class, size=n_samples)
+    for cluster, center in enumerate(centers):
+        members = assignments == cluster
+        X[members] = center + cluster_std * rng.normal(
+            size=(int(members.sum()), n_features)
+        )
+        y[members] = cluster % 2
+    # Ensure both classes are present.
+    if len(np.unique(y)) < 2:
+        y[0] = 1 - y[0]
+    return X, y
+
+
+def make_gaussian_quantiles(
+    n_samples: int = 500,
+    n_features: int = 2,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Label by distance quantile from the origin (radial boundary)."""
+    _check_n(n_samples)
+    rng = check_random_state(random_state)
+    X = rng.normal(size=(n_samples, n_features))
+    radius = np.linalg.norm(X, axis=1)
+    y = (radius > np.median(radius)).astype(int)
+    return X, y
+
+
+def make_xor(
+    n_samples: int = 500,
+    n_features: int = 2,
+    noise: float = 0.2,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """XOR of the signs of the first two features — hard for linear models."""
+    _check_n(n_samples)
+    if n_features < 2:
+        raise ValidationError("make_xor needs at least 2 features")
+    rng = check_random_state(random_state)
+    X = rng.uniform(-1.0, 1.0, size=(n_samples, n_features))
+    y = ((X[:, 0] > 0.0) ^ (X[:, 1] > 0.0)).astype(int)
+    if noise > 0.0:
+        X = X + rng.normal(scale=noise, size=X.shape)
+    return X, y
+
+
+def make_spirals(
+    n_samples: int = 500,
+    noise: float = 0.1,
+    turns: float = 1.5,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two interleaved Archimedean spirals."""
+    _check_n(n_samples)
+    rng = check_random_state(random_state)
+    n_a = n_samples // 2
+    n_b = n_samples - n_a
+    t_a = rng.uniform(0.25, turns, n_a) * 2.0 * np.pi
+    t_b = rng.uniform(0.25, turns, n_b) * 2.0 * np.pi
+    spiral_a = np.column_stack([t_a * np.cos(t_a), t_a * np.sin(t_a)]) / (2 * np.pi)
+    spiral_b = np.column_stack([t_b * np.cos(t_b + np.pi), t_b * np.sin(t_b + np.pi)]) / (2 * np.pi)
+    X = np.vstack([spiral_a, spiral_b])
+    if noise > 0.0:
+        X = X + rng.normal(scale=noise, size=X.shape)
+    y = np.concatenate([np.zeros(n_a, dtype=int), np.ones(n_b, dtype=int)])
+    order = rng.permutation(n_samples)
+    return X[order], y[order]
+
+
+def make_rule_concept(
+    n_samples: int = 500,
+    n_features: int = 10,
+    n_rules: int = 3,
+    flip_y: float = 0.05,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Axis-aligned rule concept (DNF of threshold conjunctions).
+
+    Mimics the tabular UCI datasets where tree classifiers excel: the
+    positive class is a union of ``n_rules`` axis-aligned boxes over a
+    random pair of features each.
+    """
+    _check_n(n_samples)
+    if n_features < 2:
+        raise ValidationError("make_rule_concept needs at least 2 features")
+    rng = check_random_state(random_state)
+    X = rng.uniform(0.0, 1.0, size=(n_samples, n_features))
+    y = np.zeros(n_samples, dtype=int)
+    for _ in range(max(1, n_rules)):
+        f1, f2 = rng.choice(n_features, size=2, replace=False)
+        low1, high1 = np.sort(rng.uniform(0.0, 1.0, 2))
+        low2, high2 = np.sort(rng.uniform(0.0, 1.0, 2))
+        inside = (
+            (X[:, f1] >= low1) & (X[:, f1] <= high1)
+            & (X[:, f2] >= low2) & (X[:, f2] <= high2)
+        )
+        y |= inside.astype(int)
+    if flip_y > 0.0:
+        flips = rng.random(n_samples) < flip_y
+        y[flips] = 1 - y[flips]
+    if len(np.unique(y)) < 2:
+        y[: max(1, n_samples // 10)] = 1 - y[0]
+    return X, y
+
+
+def make_sparse_linear(
+    n_samples: int = 500,
+    n_features: int = 100,
+    n_informative: int = 5,
+    noise: float = 0.5,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """High-dimensional linear concept with few informative features.
+
+    Mimics text-like / micro-array-like datasets (the corpus tail up to
+    4,702 features) where feature selection matters most.
+    """
+    _check_n(n_samples)
+    n_informative = min(max(1, n_informative), n_features)
+    rng = check_random_state(random_state)
+    X = rng.normal(size=(n_samples, n_features))
+    informative = rng.choice(n_features, size=n_informative, replace=False)
+    w = rng.normal(size=n_informative) + np.sign(rng.normal(size=n_informative))
+    score = X[:, informative] @ w + noise * rng.normal(size=n_samples)
+    y = (score > np.median(score)).astype(int)
+    return X, y
+
+
+def make_polynomial_concept(
+    n_samples: int = 500,
+    n_features: int = 5,
+    degree: int = 2,
+    flip_y: float = 0.05,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Label by the sign of a random degree-``degree`` polynomial.
+
+    Produces smoothly curved boundaries between the linear and rule-based
+    extremes; kNN/MLP/boosting tend to win here.
+    """
+    _check_n(n_samples)
+    rng = check_random_state(random_state)
+    X = rng.normal(size=(n_samples, n_features))
+    score = X @ rng.normal(size=n_features)
+    for _ in range(max(0, degree - 1)):
+        f1, f2 = rng.integers(0, n_features, size=2)
+        score = score + rng.normal() * X[:, f1] * X[:, f2]
+    score += 0.3 * rng.normal(size=n_samples)
+    y = (score > np.median(score)).astype(int)
+    if flip_y > 0.0:
+        flips = rng.random(n_samples) < flip_y
+        y[flips] = 1 - y[flips]
+    return X, y

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NotFittedError(ReproError):
+    """An estimator method requiring a fitted model was called before fit."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Input data or parameters failed validation."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped before reaching its tolerance."""
+
+
+class PlatformError(ReproError):
+    """Base class for simulated MLaaS platform failures."""
+
+
+class UnsupportedControlError(PlatformError):
+    """A pipeline control was requested that the platform does not expose.
+
+    This mirrors a real MLaaS API rejecting a request for a knob that its
+    web interface does not have (e.g. asking Amazon ML for a Random Forest).
+    """
+
+
+class ResourceNotFoundError(PlatformError):
+    """A dataset/model/job handle does not exist on the platform."""
+
+
+class JobFailedError(PlatformError):
+    """An asynchronous platform job finished in the FAILED state."""
+
+
+class QuotaExceededError(PlatformError):
+    """The simulated platform's rate/size quota was exceeded."""

@@ -1,0 +1,126 @@
+"""repro.learn — a from-scratch ML library standing in for scikit-learn.
+
+This package implements, using only numpy/scipy, every classifier,
+preprocessing method and feature-selection filter that appears in Table 1
+of the paper, plus the model-selection tooling (grid search, stratified
+splits) the measurement methodology requires.
+
+Classifier inventory (paper Table 4 abbreviations):
+
+====  =============================  ==============================
+Abbr  Classifier                     Class
+====  =============================  ==============================
+LR    Logistic Regression            :class:`LogisticRegression`
+NB    Naive Bayes                    :class:`GaussianNB`
+SVM   Linear SVM                     :class:`LinearSVC`
+LDA   Linear Discriminant Analysis   :class:`LinearDiscriminantAnalysis`
+AP    Averaged Perceptron            :class:`AveragedPerceptron`
+BPM   Bayes Point Machine            :class:`BayesPointMachine`
+KNN   k-Nearest Neighbors            :class:`KNeighborsClassifier`
+DT    Decision Tree                  :class:`DecisionTreeClassifier`
+BAG   Bagged Trees                   :class:`BaggingClassifier`
+RF    Random Forests                 :class:`RandomForestClassifier`
+BST   Boosted Decision Trees         :class:`GradientBoostingClassifier`
+DJ    Decision Jungle                :class:`DecisionJungleClassifier`
+MLP   Multi-Layer Perceptron         :class:`MLPClassifier`
+====  =============================  ==============================
+"""
+
+from repro.learn.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    TransformerMixin,
+    check_is_fitted,
+    clone,
+)
+from repro.learn.bayes import BernoulliNB, GaussianNB
+from repro.learn.ensemble import (
+    AdaBoostClassifier,
+    BaggingClassifier,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+from repro.learn.linear import (
+    AveragedPerceptron,
+    BayesPointMachine,
+    LinearDiscriminantAnalysis,
+    LinearSVC,
+    LogisticRegression,
+)
+from repro.learn.metrics import (
+    MetricSummary,
+    accuracy_score,
+    classification_summary,
+    f_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.learn.model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    StratifiedKFold,
+    cross_val_score,
+    paper_numeric_scan,
+    train_test_split,
+)
+from repro.learn.multiclass import OneVsRestClassifier
+from repro.learn.neighbors import KNeighborsClassifier
+from repro.learn.neural import MLPClassifier
+from repro.learn.pipeline import Pipeline
+from repro.learn.regression import (
+    DecisionTreeRegressor,
+    KNeighborsRegressor,
+    LinearRegression,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+)
+from repro.learn.tree import DecisionJungleClassifier, DecisionTreeClassifier
+
+__all__ = [
+    # base
+    "BaseEstimator", "ClassifierMixin", "TransformerMixin", "clone",
+    "check_is_fitted",
+    # classifiers
+    "LogisticRegression", "GaussianNB", "BernoulliNB", "LinearSVC",
+    "LinearDiscriminantAnalysis", "AveragedPerceptron", "BayesPointMachine",
+    "KNeighborsClassifier", "DecisionTreeClassifier", "DecisionJungleClassifier",
+    "BaggingClassifier", "RandomForestClassifier", "GradientBoostingClassifier",
+    "AdaBoostClassifier", "MLPClassifier",
+    # metrics
+    "accuracy_score", "precision_score", "recall_score", "f_score",
+    "roc_auc_score", "classification_summary", "MetricSummary",
+    # model selection
+    "train_test_split", "KFold", "StratifiedKFold", "cross_val_score",
+    "ParameterGrid", "GridSearchCV", "paper_numeric_scan",
+    # composition
+    "Pipeline",
+    # extensions: regression (the paper's other universal task) and
+    # multi-class reduction (§8 future work)
+    "LinearRegression", "DecisionTreeRegressor", "KNeighborsRegressor",
+    "mean_squared_error", "mean_absolute_error", "r2_score",
+    "OneVsRestClassifier",
+]
+
+#: Classifier abbreviation -> class, as used in the paper's Table 4/5.
+CLASSIFIER_REGISTRY = {
+    "LR": LogisticRegression,
+    "NB": GaussianNB,
+    "SVM": LinearSVC,
+    "LDA": LinearDiscriminantAnalysis,
+    "AP": AveragedPerceptron,
+    "BPM": BayesPointMachine,
+    "KNN": KNeighborsClassifier,
+    "DT": DecisionTreeClassifier,
+    "BAG": BaggingClassifier,
+    "RF": RandomForestClassifier,
+    "BST": GradientBoostingClassifier,
+    "DJ": DecisionJungleClassifier,
+    "MLP": MLPClassifier,
+}
+
+#: Paper Table 5: assignment of classifiers to linear / non-linear families.
+LINEAR_FAMILY = frozenset({"LR", "NB", "SVM", "LDA", "AP", "BPM"})
+NONLINEAR_FAMILY = frozenset({"DT", "RF", "BST", "KNN", "BAG", "MLP", "DJ"})

@@ -1,0 +1,21 @@
+"""Ensemble classifiers: bagging, random forests and boosted trees.
+
+Prior work cited by the paper (Caruana & Niculescu-Mizil 2006,
+Fernández-Delgado et al. 2014) found Random Forests and Boosted Trees to
+be the strongest supervised classifiers — the paper highlights that only
+Microsoft (and the local library) expose them.
+"""
+
+from repro.learn.ensemble.bagging import BaggingClassifier
+from repro.learn.ensemble.boosting import (
+    AdaBoostClassifier,
+    GradientBoostingClassifier,
+)
+from repro.learn.ensemble.forest import RandomForestClassifier
+
+__all__ = [
+    "BaggingClassifier",
+    "RandomForestClassifier",
+    "AdaBoostClassifier",
+    "GradientBoostingClassifier",
+]

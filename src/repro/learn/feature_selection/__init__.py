@@ -1,0 +1,35 @@
+"""Filter-method feature selection (Figure 1, "Feature Selection").
+
+The paper notes that Microsoft is the only MLaaS platform with built-in
+feature selection, offering 8 filter methods; the local scikit-learn
+configuration uses FClassif and MutualInfoClassif (Table 1).  All scorers
+here are classifier-independent statistical filters, matching the paper's
+definition of the Filter method.
+"""
+
+from repro.learn.feature_selection.filters import (
+    chi2_score,
+    count_score,
+    f_classif_score,
+    fisher_score,
+    kendall_score,
+    mutual_info_score,
+    pearson_score,
+    spearman_score,
+)
+from repro.learn.feature_selection.fisher_lda import FisherLDATransform
+from repro.learn.feature_selection.selector import FILTER_SCORERS, SelectKBest
+
+__all__ = [
+    "SelectKBest",
+    "FILTER_SCORERS",
+    "FisherLDATransform",
+    "pearson_score",
+    "spearman_score",
+    "kendall_score",
+    "chi2_score",
+    "mutual_info_score",
+    "fisher_score",
+    "count_score",
+    "f_classif_score",
+]

@@ -1,0 +1,22 @@
+"""Linear classifier family.
+
+These are the classifiers the paper's §6 analysis groups as the *linear*
+family (Table 5): Logistic Regression, linear SVM, LDA — plus the linear
+online learners Azure exposes (Averaged Perceptron, Bayes Point Machine).
+"""
+
+from repro.learn.linear.base import LinearBinaryClassifier
+from repro.learn.linear.bayes_point import BayesPointMachine
+from repro.learn.linear.discriminant import LinearDiscriminantAnalysis
+from repro.learn.linear.logistic import LogisticRegression
+from repro.learn.linear.perceptron import AveragedPerceptron
+from repro.learn.linear.svm import LinearSVC
+
+__all__ = [
+    "LinearBinaryClassifier",
+    "LogisticRegression",
+    "LinearSVC",
+    "AveragedPerceptron",
+    "BayesPointMachine",
+    "LinearDiscriminantAnalysis",
+]

@@ -1,0 +1,165 @@
+"""Classification metrics.
+
+The paper's headline metric is the F-score (harmonic mean of precision and
+recall), chosen because many of the corpus datasets have imbalanced classes
+(§3.2 "Evaluation Metrics").  Accuracy, precision and recall are reported
+alongside it in Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learn.validation import column_or_1d
+
+__all__ = [
+    "confusion_binary",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f_score",
+    "classification_summary",
+    "roc_auc_score",
+    "MetricSummary",
+]
+
+
+def _align(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = column_or_1d(y_true)
+    y_pred = column_or_1d(y_pred)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValidationError(
+            f"y_true has {y_true.shape[0]} samples, y_pred has {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValidationError("cannot score an empty label array")
+    return y_true, y_pred
+
+
+def _positive_label(y_true: np.ndarray, pos_label) -> object:
+    if pos_label is not None:
+        return pos_label
+    classes = np.unique(y_true)
+    # By convention the numerically largest class is "positive" (matches
+    # the 0/1 encoding used throughout the corpus).
+    return classes[-1]
+
+
+def confusion_binary(y_true, y_pred, pos_label=None) -> tuple[int, int, int, int]:
+    """Return ``(tp, fp, fn, tn)`` counts for a binary problem."""
+    y_true, y_pred = _align(y_true, y_pred)
+    pos = _positive_label(y_true, pos_label)
+    true_pos = y_true == pos
+    pred_pos = y_pred == pos
+    tp = int(np.sum(true_pos & pred_pos))
+    fp = int(np.sum(~true_pos & pred_pos))
+    fn = int(np.sum(true_pos & ~pred_pos))
+    tn = int(np.sum(~true_pos & ~pred_pos))
+    return tp, fp, fn, tn
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of predictions equal to the true labels."""
+    y_true, y_pred = _align(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred, pos_label=None) -> float:
+    """tp / (tp + fp); 0.0 when nothing was predicted positive."""
+    tp, fp, _, _ = confusion_binary(y_true, y_pred, pos_label)
+    denominator = tp + fp
+    return tp / denominator if denominator else 0.0
+
+
+def recall_score(y_true, y_pred, pos_label=None) -> float:
+    """tp / (tp + fn); 0.0 when there are no true positives to find."""
+    tp, _, fn, _ = confusion_binary(y_true, y_pred, pos_label)
+    denominator = tp + fn
+    return tp / denominator if denominator else 0.0
+
+
+def f_score(y_true, y_pred, pos_label=None, beta: float = 1.0) -> float:
+    """F-beta score; beta=1 gives the paper's harmonic-mean F-score."""
+    if beta <= 0:
+        raise ValidationError(f"beta must be positive, got {beta}")
+    precision = precision_score(y_true, y_pred, pos_label)
+    recall = recall_score(y_true, y_pred, pos_label)
+    if precision == 0.0 and recall == 0.0:
+        return 0.0
+    beta2 = beta * beta
+    return (1 + beta2) * precision * recall / (beta2 * precision + recall)
+
+
+def roc_auc_score(y_true, y_score, pos_label=None) -> float:
+    """Area under the ROC curve via the rank-statistic formulation.
+
+    Not used for platform ranking (the paper notes some platforms do not
+    expose prediction scores) but provided for local-library analysis.
+    """
+    y_true = column_or_1d(y_true)
+    y_score = np.asarray(y_score, dtype=float).ravel()
+    if y_true.shape[0] != y_score.shape[0]:
+        raise ValidationError("y_true and y_score length mismatch")
+    pos = _positive_label(y_true, pos_label)
+    positive = y_true == pos
+    n_pos = int(positive.sum())
+    n_neg = int((~positive).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValidationError("ROC AUC requires both classes present")
+    # Mann-Whitney U with midranks for ties.
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty(len(y_score), dtype=float)
+    sorted_scores = y_score[order]
+    i = 0
+    rank_position = 1
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        midrank = (rank_position + rank_position + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = midrank
+        rank_position += j - i + 1
+        i = j + 1
+    rank_sum = float(ranks[positive].sum())
+    u_statistic = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return u_statistic / (n_pos * n_neg)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """The four metrics the paper reports per experiment (Table 3)."""
+
+    f_score: float
+    accuracy: float
+    precision: float
+    recall: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the four metrics as a plain dict."""
+        return {
+            "f_score": self.f_score,
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
+
+def classification_summary(y_true, y_pred, pos_label=None) -> MetricSummary:
+    """Compute all four paper metrics from one confusion matrix pass."""
+    tp, fp, fn, tn = confusion_binary(y_true, y_pred, pos_label)
+    total = tp + fp + fn + tn
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    if precision == 0.0 and recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return MetricSummary(
+        f_score=f1,
+        accuracy=(tp + tn) / total,
+        precision=precision,
+        recall=recall,
+    )

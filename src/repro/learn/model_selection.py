@@ -1,0 +1,262 @@
+"""Dataset splitting, cross-validation, and grid search.
+
+Implements the experimental protocol of §3: a stratified 70/30
+train/test split per dataset, and exhaustive grid search over parameter
+grids (``D/100, D, 100*D`` around each numeric default; all options for
+categorical parameters).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learn.base import BaseEstimator, clone
+from repro.learn.metrics import f_score
+from repro.learn.validation import check_random_state, check_X_y
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "ParameterGrid",
+    "GridSearchCV",
+    "paper_numeric_scan",
+]
+
+
+def train_test_split(
+    X,
+    y,
+    test_size: float = 0.3,
+    random_state=None,
+    stratify: bool = True,
+):
+    """Split ``(X, y)`` into train and test partitions.
+
+    Defaults to the paper's 70/30 split.  Stratification keeps the class
+    ratio similar in both partitions and guarantees each partition sees
+    both classes whenever that is possible.
+    """
+    X, y = check_X_y(X, y, min_samples=2)
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError(f"test_size must be in (0, 1), got {test_size}")
+    rng = check_random_state(random_state)
+    n_samples = X.shape[0]
+    n_test = max(1, int(round(test_size * n_samples)))
+    if n_test >= n_samples:
+        n_test = n_samples - 1
+    if stratify:
+        test_indices = []
+        classes = np.unique(y)
+        for c in classes:
+            members = np.flatnonzero(y == c)
+            members = members[rng.permutation(members.size)]
+            share = int(round(n_test * members.size / n_samples))
+            share = min(max(share, 1 if members.size > 1 else 0), members.size - 1) \
+                if members.size > 1 else 0
+            test_indices.extend(members[:share].tolist())
+        test_indices = np.array(sorted(test_indices), dtype=int)
+    else:
+        order = rng.permutation(n_samples)
+        test_indices = np.sort(order[:n_test])
+    test_mask = np.zeros(n_samples, dtype=bool)
+    test_mask[test_indices] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """Plain k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state=None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n_samples = np.asarray(X).shape[0]
+        if n_samples < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = check_random_state(self.random_state)
+            indices = rng.permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+        for k in range(self.n_splits):
+            test = np.sort(folds[k])
+            train = np.sort(np.concatenate([folds[j] for j in range(self.n_splits) if j != k]))
+            yield train, test
+
+
+class StratifiedKFold:
+    """K-fold splitter preserving per-class proportions in each fold."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state=None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        n_samples = y.shape[0]
+        rng = check_random_state(self.random_state)
+        per_fold: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for c in np.unique(y):
+            members = np.flatnonzero(y == c)
+            if self.shuffle:
+                members = members[rng.permutation(members.size)]
+            for position, index in enumerate(members):
+                per_fold[position % self.n_splits].append(int(index))
+        for k in range(self.n_splits):
+            test = np.array(sorted(per_fold[k]), dtype=int)
+            train = np.array(
+                sorted(i for j in range(self.n_splits) if j != k for i in per_fold[j]),
+                dtype=int,
+            )
+            yield train, test
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    cv: int = 5,
+    scoring: Callable = f_score,
+    random_state=None,
+) -> np.ndarray:
+    """Stratified cross-validated scores of a cloned estimator."""
+    X, y = check_X_y(X, y)
+    splitter = StratifiedKFold(n_splits=cv, shuffle=True, random_state=random_state)
+    scores = []
+    for train, test in splitter.split(X, y):
+        if len(np.unique(y[train])) < 2:
+            continue
+        model = clone(estimator)
+        model.fit(X[train], y[train])
+        scores.append(scoring(y[test], model.predict(X[test])))
+    if not scores:
+        raise ValidationError("no valid folds; dataset too small or degenerate")
+    return np.asarray(scores)
+
+
+class ParameterGrid:
+    """Iterate over the Cartesian product of a parameter grid.
+
+    A grid maps parameter names to lists of candidate values; iteration
+    yields plain dicts in a deterministic order.  A list of grids yields
+    their concatenation (used when some parameter combinations are only
+    valid together, e.g. penalty='l1' needing solver='sgd').
+    """
+
+    def __init__(self, grid: Mapping[str, Sequence] | Sequence[Mapping[str, Sequence]]):
+        if isinstance(grid, Mapping):
+            grid = [grid]
+        self.grids = [dict(g) for g in grid]
+        for g in self.grids:
+            for name, values in g.items():
+                if not isinstance(values, (list, tuple, np.ndarray)):
+                    raise ValidationError(
+                        f"grid values for {name!r} must be a sequence, "
+                        f"got {type(values).__name__}"
+                    )
+
+    def __iter__(self) -> Iterator[dict]:
+        for g in self.grids:
+            if not g:
+                yield {}
+                continue
+            names = sorted(g)
+            for combo in itertools.product(*(g[name] for name in names)):
+                yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        total = 0
+        for g in self.grids:
+            size = 1
+            for values in g.values():
+                size *= len(values)
+            total += size
+        return total
+
+
+def paper_numeric_scan(default: float) -> list[float]:
+    """The paper's numeric parameter scan: ``D/100, D, 100*D`` (§3.2)."""
+    return [default / 100.0, default, default * 100.0]
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive grid search with cross-validated model selection.
+
+    Parameters
+    ----------
+    estimator : estimator
+        Prototype estimator, cloned per candidate.
+    param_grid : mapping or list of mappings
+        Grid specification (see :class:`ParameterGrid`).
+    cv : int
+        Stratified folds.
+    scoring : callable
+        ``scoring(y_true, y_pred) -> float``; larger is better.
+    random_state : int, Generator, or None
+        Seed for fold shuffling.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid,
+        cv: int = 3,
+        scoring: Callable = f_score,
+        random_state=None,
+    ):
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "GridSearchCV":
+        X, y = check_X_y(X, y)
+        results = []
+        best_score = -np.inf
+        best_params: dict = {}
+        for params in ParameterGrid(self.param_grid):
+            candidate = clone(self.estimator).set_params(**params)
+            try:
+                scores = cross_val_score(
+                    candidate, X, y, cv=self.cv,
+                    scoring=self.scoring, random_state=self.random_state,
+                )
+                mean_score = float(scores.mean())
+            except Exception:
+                # A candidate whose parameters are invalid for this dataset
+                # (e.g. k > n_samples) is skipped, as a measurement script
+                # would skip a failed platform job.
+                continue
+            results.append({"params": params, "mean_score": mean_score})
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = params
+        if not results:
+            raise ValidationError("every grid candidate failed to fit")
+        self.cv_results_ = results
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not hasattr(self, "best_estimator_"):
+            raise ValidationError("GridSearchCV is not fitted")
+        return self.best_estimator_.predict(X)

@@ -1,0 +1,32 @@
+"""Data transformation step of the ML pipeline (Figure 1, "Preprocessing").
+
+The paper notes Microsoft is the only MLaaS platform exposing data
+transformation; the local library (this package standing in for
+scikit-learn) exposes all of it: Gaussian/standard scaling, min-max and
+max-abs scaling, L1/L2 row normalization, median imputation and ordinal
+encoding of categorical features.
+"""
+
+from repro.learn.preprocessing.binning import QuantileBinningTransform
+from repro.learn.preprocessing.encoding import OrdinalEncoder
+from repro.learn.preprocessing.imputation import MedianImputer
+from repro.learn.preprocessing.scalers import (
+    IdentityTransform,
+    L1Normalizer,
+    L2Normalizer,
+    MaxAbsScaler,
+    MinMaxScaler,
+    StandardScaler,
+)
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "MaxAbsScaler",
+    "L1Normalizer",
+    "L2Normalizer",
+    "IdentityTransform",
+    "MedianImputer",
+    "OrdinalEncoder",
+    "QuantileBinningTransform",
+]

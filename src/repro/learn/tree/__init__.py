@@ -1,0 +1,12 @@
+"""Tree-based classifiers: CART decision trees and Decision Jungles."""
+
+from repro.learn.tree.cart import DecisionTreeClassifier
+from repro.learn.tree.criteria import entropy_impurity, gini_impurity
+from repro.learn.tree.jungle import DecisionJungleClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionJungleClassifier",
+    "gini_impurity",
+    "entropy_impurity",
+]

@@ -1,0 +1,29 @@
+"""Split-quality criteria for tree growing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gini_impurity", "entropy_impurity", "criterion_function"]
+
+
+def gini_impurity(positive_fraction: np.ndarray) -> np.ndarray:
+    """Binary Gini impurity ``2 p (1 - p)``; works elementwise."""
+    p = np.asarray(positive_fraction, dtype=float)
+    return 2.0 * p * (1.0 - p)
+
+
+def entropy_impurity(positive_fraction: np.ndarray) -> np.ndarray:
+    """Binary Shannon entropy in nats; 0 log 0 treated as 0."""
+    p = np.asarray(positive_fraction, dtype=float)
+    p = np.clip(p, 1e-12, 1.0 - 1e-12)
+    return -(p * np.log(p) + (1.0 - p) * np.log(1.0 - p))
+
+
+def criterion_function(name: str):
+    """Return the impurity function for a criterion name."""
+    if name == "gini":
+        return gini_impurity
+    if name == "entropy":
+        return entropy_impurity
+    raise ValueError(f"unknown criterion {name!r}; use 'gini' or 'entropy'")

@@ -1,0 +1,116 @@
+"""Input validation helpers used across :mod:`repro.learn`."""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["check_array", "check_X_y", "check_random_state",
+           "column_or_1d", "check_binary_labels"]
+
+
+def check_array(
+    X,
+    *,
+    ensure_2d: bool = True,
+    allow_nan: bool = False,
+    min_samples: int = 1,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Validate and convert ``X`` to a numeric ndarray.
+
+    Parameters
+    ----------
+    X : array-like
+        Input data.
+    ensure_2d : bool
+        Require a 2-D matrix (n_samples, n_features).
+    allow_nan : bool
+        Permit NaN entries (used by the imputer, which exists to remove
+        them; everything else rejects NaN).
+    min_samples : int
+        Minimum number of rows.
+    dtype : numpy dtype
+        Target dtype of the returned array.
+    """
+    try:
+        X = np.asarray(X, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"could not convert input to {dtype}: {exc}") from exc
+    if ensure_2d:
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.ndim != 2:
+            raise ValidationError(f"expected 2-D array, got shape {X.shape}")
+        if X.shape[1] == 0:
+            raise ValidationError("input has 0 features")
+    if X.shape[0] < min_samples:
+        raise ValidationError(
+            f"at least {min_samples} samples required, got {X.shape[0]}"
+        )
+    if not allow_nan and X.dtype.kind == "f":
+        if not np.isfinite(X).all():
+            raise ValidationError(
+                "input contains NaN or infinity; impute or clean it first "
+                "(see repro.learn.preprocessing.MedianImputer)"
+            )
+    return X
+
+
+def column_or_1d(y) -> np.ndarray:
+    """Flatten a column vector to 1-D; reject higher-dimensional labels."""
+    y = np.asarray(y)
+    if y.ndim == 2 and y.shape[1] == 1:
+        y = y.ravel()
+    if y.ndim != 1:
+        raise ValidationError(f"expected 1-D label array, got shape {y.shape}")
+    return y
+
+
+def check_X_y(
+    X,
+    y,
+    *,
+    allow_nan: bool = False,
+    min_samples: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a (data, labels) pair and check consistent lengths."""
+    X = check_array(X, allow_nan=allow_nan, min_samples=min_samples)
+    y = column_or_1d(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError(
+            f"X has {X.shape[0]} samples but y has {y.shape[0]}"
+        )
+    return X, y
+
+
+def check_binary_labels(y: np.ndarray) -> np.ndarray:
+    """Return sorted class values, requiring exactly two distinct classes."""
+    classes = np.unique(y)
+    if classes.shape[0] != 2:
+        raise ValidationError(
+            f"binary classification requires exactly 2 classes, "
+            f"got {classes.shape[0]}: {classes[:10]}"
+        )
+    return classes
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed,
+    or an existing Generator (returned as-is so state is shared).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, numbers.Integral):
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"random_state must be None, an int, or a numpy Generator; "
+        f"got {type(seed).__name__}"
+    )

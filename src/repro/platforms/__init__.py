@@ -1,0 +1,76 @@
+"""repro.platforms — simulators of the six MLaaS platforms + local library.
+
+The platforms, ordered by the paper's complexity axis (Figure 2):
+
+========  ==============================  =======================
+Position  Platform                        Controls exposed
+========  ==============================  =======================
+0         :class:`ABM`                    none (black box)
+1         :class:`Google`                 none (black box)
+2         :class:`Amazon`                 PARA
+3         :class:`PredictionIO`           CLF, PARA
+4         :class:`BigML`                  CLF, PARA
+5         :class:`Microsoft`              FEAT, CLF, PARA
+6         :class:`LocalLibrary`           FEAT, CLF, PARA (full)
+========  ==============================  =======================
+
+``ALL_PLATFORMS`` lists the classes in complexity order;
+``make_platform(name)`` builds one by name.
+"""
+
+from repro.platforms.abm import ABM
+from repro.platforms.amazon import Amazon
+from repro.platforms.autoselect import AutoClassifierSelector, SelectionOutcome
+from repro.platforms.base import (
+    ClassifierOption,
+    ControlSurface,
+    JobState,
+    MLaaSPlatform,
+    ModelHandle,
+    ParameterSpec,
+)
+from repro.platforms.bigml import BigML
+from repro.platforms.google import Google
+from repro.platforms.local import LocalLibrary
+from repro.platforms.microsoft import Microsoft
+from repro.platforms.predictionio import PredictionIO
+
+__all__ = [
+    "MLaaSPlatform",
+    "ControlSurface",
+    "ClassifierOption",
+    "ParameterSpec",
+    "JobState",
+    "ModelHandle",
+    "AutoClassifierSelector",
+    "SelectionOutcome",
+    "ABM",
+    "Google",
+    "Amazon",
+    "PredictionIO",
+    "BigML",
+    "Microsoft",
+    "LocalLibrary",
+    "ALL_PLATFORMS",
+    "MLAAS_PLATFORMS",
+    "make_platform",
+]
+
+#: All platform classes in the paper's complexity order (Fig 2 x-axis).
+ALL_PLATFORMS = (ABM, Google, Amazon, PredictionIO, BigML, Microsoft, LocalLibrary)
+
+#: The six cloud platforms (excluding the local reference library).
+MLAAS_PLATFORMS = (ABM, Google, Amazon, PredictionIO, BigML, Microsoft)
+
+_BY_NAME = {cls.name: cls for cls in ALL_PLATFORMS}
+
+
+def make_platform(name: str, random_state: int = 0) -> MLaaSPlatform:
+    """Instantiate a platform by its lowercase name."""
+    try:
+        cls = _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+    return cls(random_state=random_state)

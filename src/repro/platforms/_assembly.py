@@ -1,0 +1,74 @@
+"""Shared helpers for assembling platform pipelines from configurations."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import UnsupportedControlError
+from repro.learn.base import BaseEstimator
+from repro.learn.feature_selection import FisherLDATransform, SelectKBest
+from repro.learn.pipeline import Pipeline
+from repro.learn.preprocessing import (
+    L1Normalizer,
+    L2Normalizer,
+    MaxAbsScaler,
+    MinMaxScaler,
+    StandardScaler,
+)
+
+__all__ = [
+    "MICROSOFT_FEATURE_SELECTORS",
+    "LOCAL_FEATURE_SELECTORS",
+    "build_feature_step",
+    "wrap_with_feature_step",
+]
+
+#: Azure ML Studio's 8 feature-selection choices (Table 1, FEAT column):
+#: Fisher LDA plus 7 filter-based scorers.
+MICROSOFT_FEATURE_SELECTORS: dict[str, Callable[[], object]] = {
+    "fisher_lda": lambda: FisherLDATransform(keep_original=5),
+    "filter_pearson": lambda: SelectKBest(scorer="pearson", k=0.5),
+    "filter_mutual": lambda: SelectKBest(scorer="mutual_info", k=0.5),
+    "filter_kendall": lambda: SelectKBest(scorer="kendall", k=0.5),
+    "filter_spearman": lambda: SelectKBest(scorer="spearman", k=0.5),
+    "filter_chi": lambda: SelectKBest(scorer="chi2", k=0.5),
+    "filter_fisher": lambda: SelectKBest(scorer="fisher", k=0.5),
+    "filter_count": lambda: SelectKBest(scorer="count", k=0.5),
+}
+
+#: The local library's 8 feature-selection/preprocessing choices
+#: (Table 1, scikit-learn FEAT column).
+LOCAL_FEATURE_SELECTORS: dict[str, Callable[[], object]] = {
+    "f_classif": lambda: SelectKBest(scorer="f_classif", k=0.5),
+    "mutual_info_classif": lambda: SelectKBest(scorer="mutual_info", k=0.5),
+    "gaussian_norm": lambda: StandardScaler(with_mean=True, with_std=True),
+    "min_max_scaler": lambda: MinMaxScaler(),
+    "max_abs_scaler": lambda: MaxAbsScaler(),
+    "l1_normalization": lambda: L1Normalizer(),
+    "l2_normalization": lambda: L2Normalizer(),
+    "standard_scaler": lambda: StandardScaler(),
+}
+
+
+def build_feature_step(name: str, registry: dict) -> object:
+    """Instantiate a feature-selection step from a registry by name."""
+    try:
+        factory = registry[name]
+    except KeyError:
+        raise UnsupportedControlError(
+            f"unknown feature selector {name!r}; "
+            f"available: {sorted(registry)}"
+        ) from None
+    return factory()
+
+
+def wrap_with_feature_step(
+    estimator: BaseEstimator,
+    feature_selection: str | None,
+    registry: dict,
+) -> BaseEstimator:
+    """Wrap an estimator in a pipeline when feature selection is set."""
+    if feature_selection is None:
+        return estimator
+    step = build_feature_step(feature_selection, registry)
+    return Pipeline([("features", step), ("classifier", estimator)])

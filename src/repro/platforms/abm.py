@@ -1,0 +1,49 @@
+"""Automatic Business Modeler (ABM) simulator.
+
+ABM is the paper's other fully automated black box (no user-visible
+controls).  Its inferred policy also switches between linear and
+non-linear classifiers, but its CIRCLE boundary is *rectangular*
+(Fig 10c) — the signature of a tree-based non-linear classifier.  The
+paper ranks ABM's internal optimization slightly below Google's, which we
+reproduce with a coarser internal probe (smaller subsample, stingier
+margin toward switching).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator
+from repro.learn.linear import LogisticRegression
+from repro.learn.tree import DecisionTreeClassifier
+from repro.platforms.autoselect import AutoClassifierSelector
+from repro.platforms.base import ControlSurface, MLaaSPlatform, ModelHandle
+
+__all__ = ["ABM"]
+
+
+class ABM(MLaaSPlatform):
+    """Fully automated black-box platform with tree-based non-linear mode."""
+
+    name = "abm"
+    complexity = 0
+    controls = ControlSurface()  # no FEAT, no CLF, no PARA
+
+    def _assemble(self, handle: ModelHandle, X: np.ndarray, y: np.ndarray) -> BaseEstimator:
+        seed = self._job_seed(handle)
+        selector = AutoClassifierSelector(
+            linear_candidate=LogisticRegression(
+                penalty="l2", C=0.5, solver="lbfgs", max_iter=100
+            ),
+            nonlinear_candidate=DecisionTreeClassifier(
+                max_depth=6, min_samples_leaf=2,
+                random_state=seed,
+            ),
+            probe_size=200,   # coarser probe than Google -> more errors
+            n_folds=2,
+            margin=0.03,      # stronger bias toward the linear default
+            random_state=seed,
+        )
+        winner, outcome = selector.select(X, y)
+        handle.metadata["selection"] = outcome
+        return winner

@@ -1,0 +1,146 @@
+"""BigML simulator.
+
+BigML exposes classifier choice and parameter tuning (no feature
+selection).  Table 1 lists four classifiers: Logistic Regression
+(regularization, strength, eps), Decision Tree (node threshold, ordering,
+random candidates), Bagging and Random Forests (node threshold, number of
+models, ordering).
+
+Parameter translation notes:
+
+* ``node_threshold`` caps the number of tree nodes; we map it to the
+  equivalent depth cap ``ceil(log2(threshold))``.
+* ``ordering`` selects BigML's field-ordering strategy (deterministic vs
+  random); it maps onto how the per-job seed is derived, which is the
+  observable effect ordering has on grown trees.
+* ``random_candidates`` is the number of random fields considered per
+  split (BigML's random-split knob), i.e. ``max_features``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator
+from repro.learn.ensemble import BaggingClassifier, RandomForestClassifier
+from repro.learn.linear import LogisticRegression
+from repro.learn.tree import DecisionTreeClassifier
+from repro.platforms.base import (
+    ClassifierOption,
+    ControlSurface,
+    MLaaSPlatform,
+    ModelHandle,
+    ParameterSpec,
+)
+
+__all__ = ["BigML"]
+
+
+def _depth_from_node_threshold(node_threshold: int) -> int:
+    return max(2, int(np.ceil(np.log2(max(2, int(node_threshold))))))
+
+
+def _ordered_seed(params: dict, random_state: int) -> int:
+    # "deterministic" ordering pins the field order (seed 0); "random"
+    # derives it from the job.
+    return 0 if params.get("ordering") == "deterministic" else random_state
+
+
+def _build_lr(params: dict, random_state: int) -> LogisticRegression:
+    penalty = str(params["regularization"])
+    return LogisticRegression(
+        penalty=penalty,
+        C=1.0 / max(float(params["strength"]), 1e-12),
+        solver="sgd" if penalty == "l1" else "lbfgs",
+        tol=float(params["eps"]),
+        max_iter=100,
+        random_state=random_state,
+    )
+
+
+def _build_dt(params: dict, random_state: int) -> DecisionTreeClassifier:
+    return DecisionTreeClassifier(
+        max_depth=_depth_from_node_threshold(params["node_threshold"]),
+        max_features=int(params["random_candidates"]) or None,
+        random_state=_ordered_seed(params, random_state),
+    )
+
+
+def _build_bagging(params: dict, random_state: int) -> BaggingClassifier:
+    base = DecisionTreeClassifier(
+        max_depth=_depth_from_node_threshold(params["node_threshold"]),
+    )
+    return BaggingClassifier(
+        base_estimator=base,
+        n_estimators=int(params["number_of_models"]),
+        random_state=_ordered_seed(params, random_state),
+    )
+
+
+def _build_forest(params: dict, random_state: int) -> RandomForestClassifier:
+    return RandomForestClassifier(
+        n_estimators=int(params["number_of_models"]),
+        max_depth=_depth_from_node_threshold(params["node_threshold"]),
+        max_features="sqrt",
+        random_state=_ordered_seed(params, random_state),
+    )
+
+
+_OPTIONS = (
+    ClassifierOption(
+        abbr="LR",
+        label="Logistic Regression",
+        parameters=(
+            ParameterSpec("regularization", "l2", ("l1", "l2")),
+            ParameterSpec("strength", 1.0, (0.01, 1.0, 100.0)),
+            ParameterSpec("eps", 1e-4, (1e-6, 1e-4, 1e-2)),
+        ),
+        build=_build_lr,
+    ),
+    ClassifierOption(
+        abbr="DT",
+        label="Decision Tree",
+        parameters=(
+            ParameterSpec("node_threshold", 512, (32, 512, 2048)),
+            ParameterSpec("ordering", "deterministic", ("deterministic", "random")),
+            ParameterSpec("random_candidates", 0, (0, 2, 8)),
+        ),
+        build=_build_dt,
+    ),
+    ClassifierOption(
+        abbr="BAG",
+        label="Bagging",
+        parameters=(
+            ParameterSpec("node_threshold", 512, (32, 512, 2048)),
+            ParameterSpec("number_of_models", 10, (2, 10, 64)),
+            ParameterSpec("ordering", "deterministic", ("deterministic", "random")),
+        ),
+        build=_build_bagging,
+    ),
+    ClassifierOption(
+        abbr="RF",
+        label="Random Forests",
+        parameters=(
+            ParameterSpec("node_threshold", 512, (32, 512, 2048)),
+            ParameterSpec("number_of_models", 10, (2, 10, 64)),
+            ParameterSpec("ordering", "deterministic", ("deterministic", "random")),
+        ),
+        build=_build_forest,
+    ),
+)
+
+
+class BigML(MLaaSPlatform):
+    """Tree-centric MLaaS startup: CLF + PARA, no FEAT."""
+
+    name = "bigml"
+    complexity = 4
+    controls = ControlSurface(
+        feature_selectors=(),
+        classifiers=_OPTIONS,
+        supports_parameter_tuning=True,
+    )
+
+    def _assemble(self, handle: ModelHandle, X: np.ndarray, y: np.ndarray) -> BaseEstimator:
+        option = self.controls.classifier(handle.classifier_abbr)
+        return option.build(handle.params, self._job_seed(handle))

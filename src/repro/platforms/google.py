@@ -1,0 +1,52 @@
+"""Google Prediction API simulator.
+
+The real service (retired in 2018) was a fully automated black box: a
+"1-click" train call with no user-visible pipeline controls (Figure 1 —
+Google exposes *no* steps).  Section 6 of the paper infers that Google
+switches between a linear classifier and a smooth, kernel-like non-linear
+classifier depending on dataset characteristics: its decision boundary on
+CIRCLE is circular (Fig 10a), on LINEAR a straight line (Fig 10b).
+
+This simulator reproduces that policy with an
+:class:`~repro.platforms.autoselect.AutoClassifierSelector` choosing
+between Logistic Regression and a distance-weighted kNN (whose smooth
+boundary matches the kernel-method signature the paper observed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator
+from repro.learn.linear import LogisticRegression
+from repro.learn.neighbors import KNeighborsClassifier
+from repro.platforms.autoselect import AutoClassifierSelector
+from repro.platforms.base import ControlSurface, MLaaSPlatform, ModelHandle
+
+__all__ = ["Google"]
+
+
+class Google(MLaaSPlatform):
+    """Fully automated black-box platform with hidden classifier selection."""
+
+    name = "google"
+    complexity = 1
+    controls = ControlSurface()  # no FEAT, no CLF, no PARA
+
+    def _assemble(self, handle: ModelHandle, X: np.ndarray, y: np.ndarray) -> BaseEstimator:
+        seed = self._job_seed(handle)
+        selector = AutoClassifierSelector(
+            linear_candidate=LogisticRegression(
+                penalty="l2", C=1.0, solver="lbfgs", max_iter=200
+            ),
+            nonlinear_candidate=KNeighborsClassifier(
+                n_neighbors=7, weights="distance"
+            ),
+            probe_size=500,
+            n_folds=3,
+            margin=0.01,
+            random_state=seed,
+        )
+        winner, outcome = selector.select(X, y)
+        handle.metadata["selection"] = outcome
+        return winner

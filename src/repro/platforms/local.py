@@ -1,0 +1,249 @@
+"""Local ML library "platform" — the paper's fully-tunable reference point.
+
+The paper simulates an ML system with full control using a local
+scikit-learn installation (§3.2).  This module wraps our from-scratch
+:mod:`repro.learn` library in the same platform interface as the MLaaS
+simulators so the measurement harness treats it uniformly.  Its control
+surface is the Table 1 scikit-learn row: 8 feature-selection /
+preprocessing choices and 10 classifiers with their listed parameters.
+
+Unlike the cloud platforms it is not a remote service — but keeping the
+resource/job API means a measurement script cannot tell the difference,
+exactly as the paper's pipeline treats "local" as a seventh platform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator
+from repro.learn.bayes import GaussianNB
+from repro.learn.ensemble import (
+    BaggingClassifier,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+from repro.learn.linear import (
+    LinearDiscriminantAnalysis,
+    LinearSVC,
+    LogisticRegression,
+)
+from repro.learn.neighbors import KNeighborsClassifier
+from repro.learn.neural import MLPClassifier
+from repro.learn.tree import DecisionTreeClassifier
+from repro.platforms._assembly import LOCAL_FEATURE_SELECTORS, wrap_with_feature_step
+from repro.platforms.base import (
+    ClassifierOption,
+    ControlSurface,
+    MLaaSPlatform,
+    ModelHandle,
+    ParameterSpec,
+)
+
+__all__ = ["LocalLibrary"]
+
+
+def _build_lr(params: dict, random_state: int) -> LogisticRegression:
+    penalty = str(params["penalty"])
+    solver = str(params["solver"])
+    if penalty == "l1" and solver == "lbfgs":
+        solver = "sgd"  # sklearn would reject this combo; follow its spirit
+    return LogisticRegression(
+        penalty=penalty,
+        C=float(params["C"]),
+        solver=solver,
+        random_state=random_state,
+    )
+
+
+def _build_nb(params: dict, random_state: int) -> GaussianNB:
+    prior = params["prior"]
+    return GaussianNB(priors=None if prior == "empirical" else (0.5, 0.5))
+
+
+def _build_svm(params: dict, random_state: int) -> LinearSVC:
+    return LinearSVC(
+        C=float(params["C"]),
+        loss=str(params["loss"]),
+        penalty=str(params["penalty"]),
+        random_state=random_state,
+    )
+
+
+def _build_lda(params: dict, random_state: int) -> LinearDiscriminantAnalysis:
+    shrinkage = params["shrinkage"]
+    return LinearDiscriminantAnalysis(
+        solver=str(params["solver"]),
+        shrinkage=None if shrinkage == "none" else float(shrinkage),
+    )
+
+
+def _build_knn(params: dict, random_state: int) -> KNeighborsClassifier:
+    return KNeighborsClassifier(
+        n_neighbors=int(params["n_neighbors"]),
+        weights=str(params["weights"]),
+        p=float(params["p"]),
+    )
+
+
+def _build_dt(params: dict, random_state: int) -> DecisionTreeClassifier:
+    max_features = params["max_features"]
+    return DecisionTreeClassifier(
+        criterion=str(params["criterion"]),
+        max_features=None if max_features == "all" else max_features,
+        random_state=random_state,
+    )
+
+
+def _build_bst(params: dict, random_state: int) -> GradientBoostingClassifier:
+    max_features = params["max_features"]
+    return GradientBoostingClassifier(
+        n_estimators=int(params["n_estimators"]),
+        learning_rate=float(params["learning_rate"]),
+        max_features=None if max_features == "all" else max_features,
+        random_state=random_state,
+    )
+
+
+def _build_bag(params: dict, random_state: int) -> BaggingClassifier:
+    max_features = params["max_features"]
+    return BaggingClassifier(
+        n_estimators=int(params["n_estimators"]),
+        max_features=None if max_features == "all" else max_features,
+        random_state=random_state,
+    )
+
+
+def _build_rf(params: dict, random_state: int) -> RandomForestClassifier:
+    return RandomForestClassifier(
+        n_estimators=int(params["n_estimators"]),
+        max_features=params["max_features"],
+        random_state=random_state,
+    )
+
+
+def _build_mlp(params: dict, random_state: int) -> MLPClassifier:
+    return MLPClassifier(
+        activation=str(params["activation"]),
+        solver=str(params["solver"]),
+        alpha=float(params["alpha"]),
+        max_iter=150,
+        random_state=random_state,
+    )
+
+
+_OPTIONS = (
+    ClassifierOption(
+        abbr="LR",
+        label="LogisticRegression",
+        parameters=(
+            ParameterSpec("penalty", "l2", ("l1", "l2", "none")),
+            ParameterSpec("C", 1.0, (0.01, 1.0, 100.0)),
+            ParameterSpec("solver", "lbfgs", ("lbfgs", "sgd")),
+        ),
+        build=_build_lr,
+    ),
+    ClassifierOption(
+        abbr="NB",
+        label="GaussianNB",
+        parameters=(
+            ParameterSpec("prior", "empirical", ("empirical", "uniform")),
+        ),
+        build=_build_nb,
+    ),
+    ClassifierOption(
+        abbr="SVM",
+        label="LinearSVC",
+        parameters=(
+            ParameterSpec("penalty", "l2", ("l2",)),
+            ParameterSpec("C", 1.0, (0.01, 1.0, 100.0)),
+            ParameterSpec("loss", "hinge", ("hinge", "squared_hinge")),
+        ),
+        build=_build_svm,
+    ),
+    ClassifierOption(
+        abbr="LDA",
+        label="LinearDiscriminantAnalysis",
+        parameters=(
+            ParameterSpec("solver", "lsqr", ("lsqr", "eigen")),
+            ParameterSpec("shrinkage", "none", ("none", 0.1, 0.5)),
+        ),
+        build=_build_lda,
+    ),
+    ClassifierOption(
+        abbr="KNN",
+        label="KNeighborsClassifier",
+        parameters=(
+            ParameterSpec("n_neighbors", 5, (1, 5, 25)),
+            ParameterSpec("weights", "uniform", ("uniform", "distance")),
+            ParameterSpec("p", 2.0, (1.0, 2.0, 3.0)),
+        ),
+        build=_build_knn,
+    ),
+    ClassifierOption(
+        abbr="DT",
+        label="DecisionTreeClassifier",
+        parameters=(
+            ParameterSpec("criterion", "gini", ("gini", "entropy")),
+            ParameterSpec("max_features", "all", ("all", "sqrt", "log2")),
+        ),
+        build=_build_dt,
+    ),
+    ClassifierOption(
+        abbr="BST",
+        label="GradientBoostingClassifier",
+        parameters=(
+            ParameterSpec("n_estimators", 50, (5, 50, 200)),
+            ParameterSpec("learning_rate", 0.1, (0.001, 0.1, 1.0)),
+            ParameterSpec("max_features", "all", ("all", "sqrt")),
+        ),
+        build=_build_bst,
+    ),
+    ClassifierOption(
+        abbr="BAG",
+        label="BaggingClassifier",
+        parameters=(
+            ParameterSpec("n_estimators", 10, (2, 10, 100)),
+            ParameterSpec("max_features", "all", ("all", "sqrt")),
+        ),
+        build=_build_bag,
+    ),
+    ClassifierOption(
+        abbr="RF",
+        label="RandomForestClassifier",
+        parameters=(
+            ParameterSpec("n_estimators", 50, (5, 50, 200)),
+            ParameterSpec("max_features", "sqrt", ("sqrt", "log2", 1.0)),
+        ),
+        build=_build_rf,
+    ),
+    ClassifierOption(
+        abbr="MLP",
+        label="MLPClassifier",
+        parameters=(
+            ParameterSpec("activation", "relu", ("relu", "tanh", "logistic")),
+            ParameterSpec("solver", "adam", ("adam", "sgd")),
+            ParameterSpec("alpha", 1e-4, (1e-6, 1e-4, 1e-2)),
+        ),
+        build=_build_mlp,
+    ),
+)
+
+
+class LocalLibrary(MLaaSPlatform):
+    """Fully-controlled local library, the top of the complexity axis."""
+
+    name = "local"
+    complexity = 6
+    controls = ControlSurface(
+        feature_selectors=tuple(sorted(LOCAL_FEATURE_SELECTORS)),
+        classifiers=_OPTIONS,
+        supports_parameter_tuning=True,
+    )
+
+    def _assemble(self, handle: ModelHandle, X: np.ndarray, y: np.ndarray) -> BaseEstimator:
+        option = self.controls.classifier(handle.classifier_abbr)
+        estimator = option.build(handle.params, self._job_seed(handle))
+        return wrap_with_feature_step(
+            estimator, handle.feature_selection, LOCAL_FEATURE_SELECTORS
+        )

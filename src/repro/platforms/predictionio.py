@@ -1,0 +1,97 @@
+"""PredictionIO simulator.
+
+PredictionIO (an Apache-incubated open-source ML server, retired 2020)
+exposes classifier choice and parameter tuning but no feature selection.
+Table 1 lists the three classifiers the paper measured — Logistic
+Regression (maxIter, regParam, fitIntercept), Naive Bayes (lambda) and
+Decision Tree (numClasses, maxDepth) — out of the 8 the platform offered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator
+from repro.learn.bayes import GaussianNB
+from repro.learn.linear import LogisticRegression
+from repro.learn.tree import DecisionTreeClassifier
+from repro.platforms.base import (
+    ClassifierOption,
+    ControlSurface,
+    MLaaSPlatform,
+    ModelHandle,
+    ParameterSpec,
+)
+
+__all__ = ["PredictionIO"]
+
+
+def _build_lr(params: dict, random_state: int) -> LogisticRegression:
+    return LogisticRegression(
+        penalty="l2",
+        C=1.0 / max(float(params["regParam"]), 1e-12),
+        solver="sgd",
+        max_iter=int(params["maxIter"]),
+        fit_intercept=bool(params["fitIntercept"]),
+        random_state=random_state,
+    )
+
+
+def _build_nb(params: dict, random_state: int) -> GaussianNB:
+    return GaussianNB(var_smoothing=float(params["lambda"]))
+
+
+def _build_dt(params: dict, random_state: int) -> DecisionTreeClassifier:
+    return DecisionTreeClassifier(
+        max_depth=int(params["maxDepth"]),
+        random_state=random_state,
+    )
+
+
+_OPTIONS = (
+    ClassifierOption(
+        abbr="LR",
+        label="Logistic Regression",
+        parameters=(
+            ParameterSpec("maxIter", 10, (1, 10, 1000)),
+            ParameterSpec("regParam", 0.1, (1e-3, 0.1, 10.0)),
+            ParameterSpec("fitIntercept", True, (True, False)),
+        ),
+        build=_build_lr,
+    ),
+    ClassifierOption(
+        abbr="NB",
+        label="Naive Bayes",
+        parameters=(
+            ParameterSpec("lambda", 1e-6, (1e-8, 1e-6, 1e-4)),
+        ),
+        build=_build_nb,
+    ),
+    ClassifierOption(
+        abbr="DT",
+        label="Decision Tree",
+        parameters=(
+            # numClasses is part of the real Spark MLlib API; binary
+            # classification admits only the value 2.
+            ParameterSpec("numClasses", 2, (2,)),
+            ParameterSpec("maxDepth", 5, (1, 5, 16)),
+        ),
+        build=_build_dt,
+    ),
+)
+
+
+class PredictionIO(MLaaSPlatform):
+    """Open-source ML server: CLF + PARA, no FEAT."""
+
+    name = "predictionio"
+    complexity = 3
+    controls = ControlSurface(
+        feature_selectors=(),
+        classifiers=_OPTIONS,
+        supports_parameter_tuning=True,
+    )
+
+    def _assemble(self, handle: ModelHandle, X: np.ndarray, y: np.ndarray) -> BaseEstimator:
+        option = self.controls.classifier(handle.classifier_abbr)
+        return option.build(handle.params, self._job_seed(handle))

@@ -1,0 +1,154 @@
+"""Tests for aggregation (Fig 4/5, Tables 3/4) and variation (Fig 6/7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import (
+    classifier_ranking,
+    per_control_improvement,
+    platform_summary,
+)
+from repro.analysis.variation import per_control_variation, performance_variation
+from repro.core.controls import CLF, FEAT, PARA, Configuration
+from repro.core.results import ExperimentResult, ResultStore
+from repro.learn.metrics import MetricSummary
+
+
+def result(platform, dataset, f, classifier="LR", params=None, feat=None,
+           tuned=(), status="ok"):
+    return ExperimentResult(
+        platform=platform,
+        dataset=dataset,
+        configuration=Configuration.make(
+            classifier=classifier, params=params,
+            feature_selection=feat, tuned=tuned,
+        ),
+        metrics=MetricSummary(f_score=f, accuracy=f, precision=f, recall=f),
+        status=status,
+    )
+
+
+class TestPlatformSummary:
+    def test_summary_sorted_by_friedman(self):
+        store = ResultStore([
+            result("good", "d1", 0.9), result("good", "d2", 0.8),
+            result("bad", "d1", 0.4), result("bad", "d2", 0.3),
+        ])
+        summaries = platform_summary(store)
+        assert [s.platform for s in summaries] == ["good", "bad"]
+        assert summaries[0].avg["f_score"] == pytest.approx(0.85)
+        assert summaries[0].avg_friedman < summaries[1].avg_friedman
+
+    def test_summary_uses_best_per_dataset(self):
+        store = ResultStore([
+            result("p", "d1", 0.2, params={"C": 1}),
+            result("p", "d1", 0.9, params={"C": 2}),
+            result("q", "d1", 0.5),
+        ])
+        summaries = {s.platform: s for s in platform_summary(store)}
+        assert summaries["p"].avg["f_score"] == pytest.approx(0.9)
+
+    def test_row_rendering(self):
+        store = ResultStore([
+            result("p", "d1", 0.5), result("q", "d1", 0.6),
+        ])
+        row = platform_summary(store)[0].as_row()
+        assert "0.600" in row
+
+
+class TestPerControlImprovement:
+    def test_positive_improvement(self):
+        baseline = ResultStore([result("p", "d1", 0.5), result("p", "d2", 0.5)])
+        tuned = ResultStore([
+            result("p", "d1", 0.6, tuned={CLF}),
+            result("p", "d2", 0.7, tuned={CLF}),
+        ])
+        improvement = per_control_improvement(baseline, tuned, "p")
+        assert improvement == pytest.approx(100 * (0.65 - 0.5) / 0.5)
+
+    def test_no_data_gives_nan(self):
+        baseline = ResultStore([result("p", "d1", 0.5)])
+        assert np.isnan(per_control_improvement(baseline, ResultStore(), "p"))
+
+
+class TestClassifierRanking:
+    def build_store(self):
+        return ResultStore([
+            # Dataset d1: BST best with tuned params, LR best at defaults.
+            result("p", "d1", 0.7, classifier="LR"),
+            result("p", "d1", 0.5, classifier="BST"),
+            result("p", "d1", 0.9, classifier="BST",
+                   params={"lr": 2}, tuned={PARA}),
+            # Dataset d2: DT always best.
+            result("p", "d2", 0.4, classifier="LR"),
+            result("p", "d2", 0.8, classifier="DT"),
+        ])
+
+    def test_default_ranking_ignores_tuned_params(self):
+        ranking = dict(classifier_ranking(self.build_store(), "p", optimized_params=False))
+        assert ranking["LR"] == pytest.approx(50.0)
+        assert ranking["DT"] == pytest.approx(50.0)
+        assert "BST" not in ranking
+
+    def test_optimized_ranking_uses_best_params(self):
+        ranking = dict(classifier_ranking(self.build_store(), "p", optimized_params=True))
+        assert ranking["BST"] == pytest.approx(50.0)
+        assert ranking["DT"] == pytest.approx(50.0)
+
+    def test_top_limit(self):
+        ranking = classifier_ranking(self.build_store(), "p", True, top=1)
+        assert len(ranking) == 1
+
+    def test_empty_platform(self):
+        assert classifier_ranking(ResultStore(), "p", True) == []
+
+
+class TestVariation:
+    def build_store(self):
+        return ResultStore([
+            # Config A averages 0.5, config B averages 0.9 across datasets.
+            result("p", "d1", 0.4, params={"C": 1}),
+            result("p", "d2", 0.6, params={"C": 1}),
+            result("p", "d1", 0.8, params={"C": 2}),
+            result("p", "d2", 1.0, params={"C": 2}),
+        ])
+
+    def test_spread_over_configuration_averages(self):
+        summary = performance_variation(self.build_store(), "p")
+        assert summary.minimum == pytest.approx(0.5)
+        assert summary.maximum == pytest.approx(0.9)
+        assert summary.spread == pytest.approx(0.4)
+        assert summary.n_configurations == 2
+
+    def test_missing_platform_gives_nan(self):
+        summary = performance_variation(ResultStore(), "p")
+        assert np.isnan(summary.spread)
+
+    def test_failures_excluded(self):
+        store = self.build_store()
+        store.add(result("p", "d1", 0.0, params={"C": 3}, status="failed"))
+        summary = performance_variation(store, "p")
+        assert summary.n_configurations == 2
+
+    def test_per_control_shares(self):
+        overall = self.build_store()
+        clf_only = ResultStore([
+            result("p", "d1", 0.5, classifier="LR", tuned={CLF}),
+            result("p", "d1", 0.7, classifier="DT", tuned={CLF}),
+        ])
+        shares = per_control_variation({CLF: clf_only}, overall, "p")
+        assert shares[CLF] == pytest.approx(0.2 / 0.4)
+        assert np.isnan(shares[FEAT])
+        assert np.isnan(shares[PARA])
+
+    def test_share_capped_at_one(self):
+        overall = ResultStore([
+            result("p", "d1", 0.5, params={"C": 1}),
+            result("p", "d1", 0.6, params={"C": 2}),
+        ])
+        wild = ResultStore([
+            result("p", "d1", 0.1, classifier="A", tuned={CLF}),
+            result("p", "d1", 0.9, classifier="B", tuned={CLF}),
+        ])
+        shares = per_control_variation({CLF: wild}, overall, "p")
+        assert shares[CLF] == 1.0

@@ -1,0 +1,97 @@
+"""Tests for decision-boundary probing (§6.1, Figs 10 & 13)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.boundary import (
+    boundary_linearity,
+    probe_decision_boundary,
+)
+from repro.datasets import load_dataset
+from repro.exceptions import ValidationError
+from repro.platforms import ABM, Amazon, Google, LocalLibrary
+
+
+@pytest.fixture(scope="module")
+def circle_split():
+    return load_dataset("synthetic/circle", size_cap=400).split(random_state=0)
+
+
+@pytest.fixture(scope="module")
+def linear_split():
+    return load_dataset("synthetic/linear", size_cap=400).split(random_state=0)
+
+
+def test_probe_shape(linear_split):
+    probe = probe_decision_boundary(
+        Google(random_state=0), linear_split.X_train, linear_split.y_train,
+        resolution=40,
+    )
+    assert probe.predictions.shape == (40, 40)
+    assert probe.xx.shape == (40, 40)
+
+
+def test_google_linear_on_linear(linear_split):
+    probe = probe_decision_boundary(
+        Google(random_state=0), linear_split.X_train, linear_split.y_train,
+        resolution=60,
+    )
+    assert boundary_linearity(probe) > 0.97
+
+
+def test_google_nonlinear_on_circle(circle_split):
+    probe = probe_decision_boundary(
+        Google(random_state=0), circle_split.X_train, circle_split.y_train,
+        resolution=60,
+    )
+    assert boundary_linearity(probe) < 0.9
+
+
+def test_abm_nonlinear_on_circle(circle_split):
+    probe = probe_decision_boundary(
+        ABM(random_state=0), circle_split.X_train, circle_split.y_train,
+        resolution=60,
+    )
+    assert boundary_linearity(probe) < 0.9
+
+
+def test_amazon_nonlinear_on_circle_fig13(circle_split):
+    # Fig 13: Amazon's claimed-LR service produces a non-linear boundary.
+    probe = probe_decision_boundary(
+        Amazon(random_state=0), circle_split.X_train, circle_split.y_train,
+        resolution=60,
+    )
+    assert boundary_linearity(probe) < 0.9
+
+
+def test_plain_lr_boundary_is_linear(circle_split):
+    platform = LocalLibrary(random_state=0)
+    # Train the baseline (default LR) via create_model's default path.
+    probe = probe_decision_boundary(
+        platform, circle_split.X_train, circle_split.y_train, resolution=50
+    )
+    assert boundary_linearity(probe) > 0.95
+
+
+def test_probe_rejects_high_dimensional_data():
+    X = np.random.default_rng(0).normal(size=(50, 3))
+    y = (X[:, 0] > 0).astype(int)
+    with pytest.raises(ValidationError, match="2-feature"):
+        probe_decision_boundary(Google(), X, y)
+
+
+def test_ascii_rendering(circle_split):
+    probe = probe_decision_boundary(
+        Google(random_state=0), circle_split.X_train, circle_split.y_train,
+        resolution=40,
+    )
+    art = probe.render_ascii(width=20)
+    assert "#" in art and "." in art
+
+
+def test_positive_fraction_between_zero_and_one(circle_split):
+    probe = probe_decision_boundary(
+        ABM(random_state=0), circle_split.X_train, circle_split.y_train,
+        resolution=30,
+    )
+    assert 0.0 < probe.positive_fraction() < 1.0

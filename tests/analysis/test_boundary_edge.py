@@ -1,0 +1,71 @@
+"""Edge-case tests for boundary probing and linearity scoring."""
+
+import numpy as np
+
+from repro.analysis.boundary import BoundaryProbe, boundary_linearity
+
+
+def _probe_from_predictions(predictions: np.ndarray) -> BoundaryProbe:
+    resolution = predictions.shape[0]
+    xx, yy = np.meshgrid(
+        np.linspace(-1, 1, resolution), np.linspace(-1, 1, resolution)
+    )
+    return BoundaryProbe(xx=xx, yy=yy, predictions=predictions)
+
+
+def test_all_one_class_is_trivially_linear():
+    probe = _probe_from_predictions(np.zeros((20, 20), dtype=int))
+    assert boundary_linearity(probe) == 1.0
+    # With a single predicted class, that class is the reference: the
+    # fraction is 1.0 by definition.
+    assert probe.positive_fraction() == 1.0
+
+
+def test_halfplane_boundary_scores_near_one():
+    predictions = np.zeros((40, 40), dtype=int)
+    predictions[:, 20:] = 1  # vertical line boundary
+    probe = _probe_from_predictions(predictions)
+    assert boundary_linearity(probe) > 0.97
+
+
+def test_diagonal_boundary_scores_near_one():
+    resolution = 40
+    xx, yy = np.meshgrid(
+        np.linspace(-1, 1, resolution), np.linspace(-1, 1, resolution)
+    )
+    predictions = (xx + yy > 0).astype(int)
+    probe = BoundaryProbe(xx=xx, yy=yy, predictions=predictions)
+    assert boundary_linearity(probe) > 0.97
+
+
+def test_disc_boundary_scores_low():
+    resolution = 50
+    xx, yy = np.meshgrid(
+        np.linspace(-1, 1, resolution), np.linspace(-1, 1, resolution)
+    )
+    predictions = (xx**2 + yy**2 < 0.3).astype(int)
+    probe = BoundaryProbe(xx=xx, yy=yy, predictions=predictions)
+    # A disc cannot be explained by any halfplane much better than the
+    # majority-class rate.
+    majority = max(predictions.mean(), 1 - predictions.mean())
+    assert boundary_linearity(probe) < majority + 0.05
+
+
+def test_checkerboard_scores_lowest():
+    resolution = 40
+    xx, yy = np.meshgrid(
+        np.linspace(-1, 1, resolution), np.linspace(-1, 1, resolution)
+    )
+    predictions = (((xx > 0).astype(int) + (yy > 0).astype(int)) % 2)
+    probe = BoundaryProbe(xx=xx, yy=yy, predictions=predictions)
+    assert boundary_linearity(probe) < 0.75
+
+
+def test_ascii_render_dimensions():
+    probe = _probe_from_predictions(
+        (np.arange(30)[:, None] + np.arange(30)[None, :]) % 2
+    )
+    art = probe.render_ascii(width=15)
+    lines = art.splitlines()
+    assert len(lines) == 15
+    assert all(len(line) == 15 for line in lines)

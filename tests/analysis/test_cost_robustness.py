@@ -1,0 +1,124 @@
+"""Tests for the §8 extension analyses: cost accounting and robustness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost import (
+    PRICING,
+    PricingModel,
+    study_cost_report,
+)
+from repro.analysis.robustness import (
+    degradation_slope,
+    label_noise_curve,
+)
+from repro.core import Configuration, ExperimentRunner
+from repro.datasets import load_dataset
+from repro.platforms import ALL_PLATFORMS, Google, LocalLibrary
+
+
+class TestPricing:
+    def test_campaign_cost_components(self):
+        pricing = PricingModel(
+            training_usd_per_hour=2.0,
+            prediction_usd_per_1k=0.5,
+            flat_usd_per_month=10.0,
+        )
+        cost = pricing.campaign_cost(training_hours=3.0, n_predictions=4000,
+                                     months=2.0)
+        assert cost == pytest.approx(2.0 * 3 + 0.5 * 4 + 10.0 * 2)
+
+    def test_every_platform_has_a_price_sheet(self):
+        for cls in ALL_PLATFORMS:
+            assert cls.name in PRICING
+
+    def test_local_library_is_free(self):
+        assert PRICING["local"].campaign_cost(10.0, 1_000_000) == 0.0
+
+
+class TestStudyCostReport:
+    @pytest.fixture(scope="class")
+    def store(self):
+        runner = ExperimentRunner(split_seed=0)
+        dataset = load_dataset("synthetic/linear", size_cap=200)
+        from repro.core.results import ResultStore
+
+        store = ResultStore()
+        for platform_cls in (Google, LocalLibrary):
+            store.add(runner.run_one(
+                platform_cls(random_state=0), dataset, Configuration.make()
+            ))
+        return store
+
+    def test_training_time_recorded(self, store):
+        for result in store:
+            assert result.metadata["training_seconds"] > 0.0
+            assert result.metadata["n_predictions"] > 0
+
+    def test_report_covers_all_platforms(self, store):
+        reports = {r.platform: r for r in study_cost_report(store)}
+        assert set(reports) == {"google", "local"}
+        assert reports["google"].n_measurements == 1
+        assert reports["google"].training_hours > 0.0
+        assert reports["local"].estimated_usd == 0.0
+        assert reports["google"].estimated_usd > 0.0
+
+    def test_usd_per_measurement(self, store):
+        report = next(
+            r for r in study_cost_report(store) if r.platform == "google"
+        )
+        assert report.usd_per_measurement() == pytest.approx(
+            report.estimated_usd / report.n_measurements
+        )
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("synthetic/linear", size_cap=300)
+
+    def test_noise_curve_shape(self, dataset):
+        curve = label_noise_curve(
+            Google(random_state=0), dataset,
+            noise_rates=(0.0, 0.2, 0.4), random_state=0,
+        )
+        assert curve.noise_rates == [0.0, 0.2, 0.4]
+        assert len(curve.f_scores) == 3
+        assert all(0.0 <= f <= 1.0 for f in curve.f_scores)
+
+    def test_noise_degrades_performance(self, dataset):
+        curve = label_noise_curve(
+            Google(random_state=0), dataset,
+            noise_rates=(0.0, 0.45), random_state=0,
+        )
+        # Near-random labels must hurt: clean >= heavily-noisy - slack.
+        assert curve.f_scores[0] >= curve.f_scores[-1] - 0.05
+        assert curve.degradation() >= -0.05
+
+    def test_degradation_slope_sign(self, dataset):
+        curve = label_noise_curve(
+            LocalLibrary(random_state=0), dataset,
+            configuration=Configuration.make(classifier="DT"),
+            noise_rates=(0.0, 0.15, 0.3, 0.45), random_state=0,
+        )
+        slope = degradation_slope(curve)
+        assert np.isfinite(slope)
+        assert slope < 0.1  # flat at best, typically negative
+
+    def test_slope_needs_two_points(self, dataset):
+        curve = label_noise_curve(
+            Google(random_state=0), dataset, noise_rates=(0.0,),
+        )
+        assert np.isnan(degradation_slope(curve))
+
+    def test_test_labels_stay_clean(self, dataset):
+        # Zero-noise curve must equal a plain run: noise only touches train.
+        runner = ExperimentRunner(split_seed=7)
+        plain = runner.run_one(
+            Google(random_state=0), dataset, Configuration.make()
+        )
+        curve = label_noise_curve(
+            Google(random_state=0), dataset, noise_rates=(0.0,),
+            split_seed=7,
+        )
+        assert curve.f_scores[0] == pytest.approx(plain.f_score, abs=1e-9)

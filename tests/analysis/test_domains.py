@@ -1,0 +1,68 @@
+"""Tests for the per-domain breakdown analysis."""
+
+import pytest
+
+from repro.analysis.domains import (
+    domain_breakdown,
+    domain_family_preference,
+)
+from repro.core.controls import Configuration
+from repro.core.results import ExperimentResult, ResultStore
+from repro.learn.metrics import MetricSummary
+
+
+def result(platform, dataset, f, classifier="LR", params=None):
+    return ExperimentResult(
+        platform=platform,
+        dataset=dataset,
+        configuration=Configuration.make(classifier=classifier, params=params),
+        metrics=MetricSummary(f, f, f, f),
+    )
+
+
+@pytest.fixture()
+def store():
+    return ResultStore([
+        # synthetic/circle: DT (nonlinear) wins.
+        result("p", "synthetic/circle", 0.5, "LR"),
+        result("p", "synthetic/circle", 0.9, "DT"),
+        # synthetic/linear: LR wins.
+        result("p", "synthetic/linear", 0.8, "LR"),
+        result("p", "synthetic/linear", 0.6, "DT"),
+        # unknown dataset -> "external" domain.
+        result("p", "my/own-data", 0.7, "LR"),
+    ])
+
+
+def test_domain_breakdown_groups_by_registry_domain(store):
+    slices = {(s.domain, s.platform): s for s in domain_breakdown(store)}
+    synthetic = slices[("synthetic", "p")]
+    assert synthetic.n_datasets == 2
+    assert synthetic.mean_f_score == pytest.approx((0.9 + 0.8) / 2)
+    assert ("external", "p") in slices
+
+
+def test_family_preference_counts_winners(store):
+    preferences = domain_family_preference(store)
+    assert preferences["synthetic"]["linear"] == pytest.approx(0.5)
+    assert preferences["synthetic"]["nonlinear"] == pytest.approx(0.5)
+    assert preferences["external"]["linear"] == 1.0
+
+
+def test_blackbox_results_ignored_for_family():
+    store = ResultStore([
+        ExperimentResult(
+            platform="google", dataset="synthetic/circle",
+            configuration=Configuration.make(),  # no classifier attribution
+            metrics=MetricSummary(0.99, 0.99, 0.99, 0.99),
+        ),
+        result("p", "synthetic/circle", 0.5, "LR"),
+    ])
+    preferences = domain_family_preference(store)
+    # Only the attributable LR result counts.
+    assert preferences["synthetic"]["linear"] == 1.0
+
+
+def test_empty_store():
+    assert domain_breakdown(ResultStore()) == []
+    assert domain_family_preference(ResultStore()) == {}

@@ -1,0 +1,79 @@
+"""Internal behaviours of the family-inference machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.family import (
+    FamilyObservation,
+    _configs_by_classifier,
+    _observation_features,
+    train_family_predictors,
+)
+from repro.platforms import LocalLibrary, Microsoft
+
+
+def test_configs_capped_per_classifier():
+    platform = Microsoft()
+    configs = _configs_by_classifier(platform, max_per_classifier=2)
+    by_abbr = {}
+    for config in configs:
+        by_abbr.setdefault(config.classifier, []).append(config)
+    assert set(by_abbr) == set(platform.classifier_abbrs())
+    assert all(len(v) <= 2 for v in by_abbr.values())
+    # No feature selection in the §6.2 observation sweep.
+    assert all(c.feature_selection is None for c in configs)
+
+
+def test_observation_features_layout():
+    y_test = np.array([0, 1, 1, 0])
+    predictions = np.array([0, 1, 0, 0])
+    features = _observation_features(y_test, predictions)
+    assert features.shape == (8,)  # 4 metrics + 4 predicted labels
+    # Metrics occupy the first four slots in [0, 1].
+    assert np.all((features[:4] >= 0.0) & (features[:4] <= 1.0))
+    # Predicted labels are binary-encoded.
+    assert features[4:].tolist() == [0.0, 1.0, 0.0, 0.0]
+
+
+def _make_observations(n_per_family, feature_shift, n_features=12, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for family, shift in (("linear", 0.0), ("nonlinear", feature_shift)):
+        for i in range(n_per_family):
+            samples.append(FamilyObservation(
+                dataset="d",
+                platform="p",
+                classifier="LR" if family == "linear" else "DT",
+                family=family,
+                features=rng.normal(loc=shift, size=n_features),
+            ))
+    return {"d": samples}
+
+
+def test_separable_observations_qualify():
+    observations = _make_observations(30, feature_shift=4.0)
+    predictors = train_family_predictors(observations, random_state=0)
+    assert predictors["d"].qualified
+    assert predictors["d"].test_f_score > 0.9
+
+
+def test_unseparable_observations_do_not_qualify():
+    observations = _make_observations(30, feature_shift=0.0, seed=1)
+    predictors = train_family_predictors(observations, random_state=0)
+    assert not predictors["d"].qualified
+
+
+def test_single_family_yields_untrained_predictor():
+    observations = _make_observations(30, feature_shift=1.0)
+    observations["d"] = [
+        s for s in observations["d"] if s.family == "linear"
+    ]
+    predictors = train_family_predictors(observations, random_state=0)
+    assert predictors["d"].model is None
+    assert not predictors["d"].qualified
+
+
+def test_too_few_observations_yield_untrained_predictor():
+    observations = _make_observations(3, feature_shift=5.0)
+    predictors = train_family_predictors(observations, random_state=0)
+    assert predictors["d"].model is None

@@ -1,0 +1,120 @@
+"""Tests for post-hoc pairwise statistical comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.posthoc import (
+    nemenyi_critical_difference,
+    pairwise_comparisons,
+    significantly_different_pairs,
+    wilcoxon_signed_rank,
+)
+from repro.exceptions import ValidationError
+
+
+def make_scores(shift_b=0.0, shift_c=0.0, n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.4, 0.9, n)
+    return {
+        "a": {f"d{i}": float(base[i]) for i in range(n)},
+        "b": {f"d{i}": float(base[i] + shift_b) for i in range(n)},
+        "c": {f"d{i}": float(base[i] + shift_c) for i in range(n)},
+    }
+
+
+class TestWilcoxon:
+    def test_detects_consistent_shift(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0.5, 0.9, 30)
+        b = a - 0.05 - 0.01 * rng.random(30)
+        _, p = wilcoxon_signed_rank(a, b)
+        assert p < 0.001
+
+    def test_no_difference_high_p(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0.5, 0.9, 30)
+        noise = rng.normal(0, 0.05, 30)
+        _, p = wilcoxon_signed_rank(a, a + noise - noise.mean())
+        assert p > 0.01
+
+    def test_all_ties_returns_p_one(self):
+        a = np.full(10, 0.5)
+        statistic, p = wilcoxon_signed_rank(a, a)
+        assert (statistic, p) == (0.0, 1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            wilcoxon_signed_rank([0.1, 0.2], [0.1, 0.2, 0.3])
+
+    def test_too_few_pairs_rejected(self):
+        with pytest.raises(ValidationError):
+            wilcoxon_signed_rank([0.1, 0.2], [0.3, 0.4])
+
+
+class TestPairwise:
+    def test_clear_separation_is_significant(self):
+        scores = make_scores(shift_b=-0.2, shift_c=-0.4)
+        comparisons = pairwise_comparisons(scores)
+        assert len(comparisons) == 3
+        assert all(c.significant for c in comparisons)
+        ac = next(c for c in comparisons
+                  if {c.platform_a, c.platform_b} == {"a", "c"})
+        assert ac.better == "a"
+
+    def test_identical_platforms_not_significant(self):
+        scores = make_scores(shift_b=0.0, shift_c=0.0)
+        comparisons = pairwise_comparisons(scores)
+        assert not any(c.significant for c in comparisons)
+
+    def test_holm_adjusted_p_at_least_raw(self):
+        scores = make_scores(shift_b=-0.1, shift_c=-0.05)
+        for c in pairwise_comparisons(scores):
+            assert c.adjusted_p >= c.p_value - 1e-12
+
+    def test_holm_monotone_in_sorted_order(self):
+        scores = make_scores(shift_b=-0.1, shift_c=-0.3, seed=3)
+        comparisons = pairwise_comparisons(scores)
+        adjusted = [c.adjusted_p for c in comparisons]
+        assert adjusted == sorted(adjusted)
+
+    def test_needs_enough_common_datasets(self):
+        with pytest.raises(ValidationError):
+            pairwise_comparisons({
+                "a": {"d1": 0.5, "d2": 0.4},
+                "b": {"d1": 0.6, "d2": 0.5},
+            })
+
+
+class TestNemenyi:
+    def test_cd_decreases_with_more_datasets(self):
+        cd_small = nemenyi_critical_difference(7, 20)
+        cd_large = nemenyi_critical_difference(7, 119)
+        assert cd_large < cd_small
+
+    def test_cd_grows_with_more_platforms(self):
+        assert nemenyi_critical_difference(7, 50) > \
+            nemenyi_critical_difference(3, 50)
+
+    def test_paper_scale_value(self):
+        # 7 competitors over 119 datasets — the paper's setting.
+        cd = nemenyi_critical_difference(7, 119)
+        assert cd == pytest.approx(0.826, abs=0.01)
+
+    def test_out_of_table_rejected(self):
+        with pytest.raises(ValidationError):
+            nemenyi_critical_difference(11, 50)
+
+    def test_significant_pairs_detects_dominance(self):
+        scores = make_scores(shift_b=-0.3, shift_c=-0.6, n=40)
+        pairs = significantly_different_pairs(scores)
+        assert ("a", "c", pytest.approx(2.0)) in [
+            (x, y, pytest.approx(g)) for x, y, g in pairs
+        ]
+
+    def test_no_pairs_when_equal(self):
+        scores = {
+            "a": {f"d{i}": 0.5 + 0.001 * (i % 3) for i in range(30)},
+            "b": {f"d{i}": 0.5 + 0.001 * ((i + 1) % 3) for i in range(30)},
+            "c": {f"d{i}": 0.5 + 0.001 * ((i + 2) % 3) for i in range(30)},
+        }
+        assert significantly_different_pairs(scores) == []

@@ -1,0 +1,83 @@
+"""Tests for Friedman ranking and standard error."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import friedman_ranking, friedman_test, standard_error
+from repro.exceptions import ValidationError
+
+
+def test_friedman_ranking_orders_dominant_competitor_first():
+    scores = {
+        "strong": {"d1": 0.9, "d2": 0.8, "d3": 0.95},
+        "medium": {"d1": 0.7, "d2": 0.6, "d3": 0.80},
+        "weak": {"d1": 0.5, "d2": 0.4, "d3": 0.60},
+    }
+    ranks = friedman_ranking(scores)
+    assert ranks["strong"] == 1.0
+    assert ranks["medium"] == 2.0
+    assert ranks["weak"] == 3.0
+
+
+def test_friedman_ranking_ties_get_midranks():
+    scores = {
+        "a": {"d1": 0.5},
+        "b": {"d1": 0.5},
+    }
+    ranks = friedman_ranking(scores)
+    assert ranks["a"] == ranks["b"] == 1.5
+
+
+def test_friedman_uses_common_datasets_only():
+    scores = {
+        "a": {"d1": 0.9, "d2": 0.1},
+        "b": {"d1": 0.5},           # d2 missing -> only d1 is ranked
+    }
+    ranks = friedman_ranking(scores)
+    assert ranks == {"a": 1.0, "b": 2.0}
+
+
+def test_friedman_no_common_datasets_rejected():
+    with pytest.raises(ValidationError):
+        friedman_ranking({"a": {"d1": 0.5}, "b": {"d2": 0.5}})
+
+
+def test_friedman_needs_two_competitors():
+    with pytest.raises(ValidationError):
+        friedman_ranking({"a": {"d1": 0.5}})
+
+
+def test_friedman_rank_average_is_consistent():
+    # Average of ranks over competitors must equal (k+1)/2 per block.
+    rng = np.random.default_rng(0)
+    scores = {
+        name: {f"d{i}": float(rng.random()) for i in range(20)}
+        for name in ("a", "b", "c", "d")
+    }
+    ranks = friedman_ranking(scores)
+    assert np.mean(list(ranks.values())) == pytest.approx(2.5)
+
+
+def test_friedman_test_detects_consistent_differences():
+    scores = {
+        "best": {f"d{i}": 0.9 + 0.001 * i for i in range(15)},
+        "mid": {f"d{i}": 0.7 + 0.001 * i for i in range(15)},
+        "worst": {f"d{i}": 0.5 + 0.001 * i for i in range(15)},
+    }
+    statistic, p_value = friedman_test(scores)
+    assert statistic > 0
+    assert p_value < 0.01
+
+
+def test_friedman_test_requires_three_of_each():
+    with pytest.raises(ValidationError):
+        friedman_test({"a": {"d1": 1.0}, "b": {"d1": 0.5}})
+
+
+def test_standard_error_basics():
+    assert standard_error([1.0, 1.0, 1.0]) == 0.0
+    assert standard_error([5.0]) == 0.0
+    assert np.isnan(standard_error([]))
+    values = [1.0, 2.0, 3.0, 4.0]
+    expected = np.std(values, ddof=1) / 2.0
+    assert standard_error(values) == pytest.approx(expected)

@@ -1,0 +1,128 @@
+"""Tests for the k-subset analysis (Fig 8) and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    cdf_points,
+    render_bar_chart,
+    render_cdf,
+    render_table,
+)
+from repro.analysis.subsets import expected_max_of_subset, subset_performance_curve
+from repro.core.controls import Configuration
+from repro.core.results import ExperimentResult, ResultStore
+from repro.exceptions import ValidationError
+from repro.learn.metrics import MetricSummary
+
+
+class TestExpectedMax:
+    def test_k_one_is_mean(self):
+        scores = [0.2, 0.4, 0.9]
+        assert expected_max_of_subset(scores, 1) == pytest.approx(0.5)
+
+    def test_k_n_is_max(self):
+        scores = [0.2, 0.4, 0.9]
+        assert expected_max_of_subset(scores, 3) == pytest.approx(0.9)
+
+    def test_k_two_exact_enumeration(self):
+        scores = [0.1, 0.5, 0.7]
+        # Subsets: {0.1,0.5}->0.5, {0.1,0.7}->0.7, {0.5,0.7}->0.7.
+        assert expected_max_of_subset(scores, 2) == pytest.approx((0.5 + 0.7 + 0.7) / 3)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValidationError):
+            expected_max_of_subset([0.5], 2)
+        with pytest.raises(ValidationError):
+            expected_max_of_subset([0.5], 0)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(8)
+        exact = expected_max_of_subset(scores, 3)
+        samples = [
+            scores[rng.choice(8, size=3, replace=False)].max()
+            for _ in range(20_000)
+        ]
+        assert exact == pytest.approx(np.mean(samples), abs=0.01)
+
+
+def result(platform, dataset, classifier, f, params=None):
+    return ExperimentResult(
+        platform=platform,
+        dataset=dataset,
+        configuration=Configuration.make(classifier=classifier, params=params),
+        metrics=MetricSummary(f_score=f, accuracy=f, precision=f, recall=f),
+    )
+
+
+class TestSubsetCurve:
+    def test_curve_monotone_and_saturating(self):
+        store = ResultStore([
+            result("p", "d1", "LR", 0.5),
+            result("p", "d1", "DT", 0.9),
+            result("p", "d1", "RF", 0.7),
+            result("p", "d2", "LR", 0.8),
+            result("p", "d2", "DT", 0.4),
+            result("p", "d2", "RF", 0.6),
+        ])
+        curve = subset_performance_curve(store, "p")
+        ks = [k for k, _ in curve]
+        values = [v for _, v in curve]
+        assert ks == [1, 2, 3]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx((0.9 + 0.8) / 2)
+
+    def test_uses_best_configuration_per_classifier(self):
+        store = ResultStore([
+            result("p", "d1", "LR", 0.3, params={"C": 1}),
+            result("p", "d1", "LR", 0.8, params={"C": 2}),
+        ])
+        curve = subset_performance_curve(store, "p")
+        assert curve == [(1, pytest.approx(0.8))]
+
+    def test_empty_for_blackbox(self):
+        store = ResultStore([
+            ExperimentResult(
+                platform="google", dataset="d1",
+                configuration=Configuration.make(),
+                metrics=MetricSummary(0.7, 0.7, 0.7, 0.7),
+            )
+        ])
+        assert subset_performance_curve(store, "google") == []
+
+
+class TestReporting:
+    def test_table_alignment_and_content(self):
+        table = render_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in table and "22" in table
+        assert lines[2].startswith("---")
+
+    def test_bar_chart_scales(self):
+        chart = render_bar_chart(["a", "b"], [1.0, 0.5], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_handles_nan(self):
+        chart = render_bar_chart(["a"], [float("nan")])
+        assert "n/a" in chart
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions[-1] == 1.0
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+        assert "(no data)" in render_cdf([])
+
+    def test_render_cdf_has_requested_points(self):
+        text = render_cdf(list(np.linspace(0, 1, 100)), n_points=5)
+        assert text.count("CDF(") == 5

@@ -1,0 +1,38 @@
+"""Shared fixtures: small deterministic datasets used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_circles, make_classification
+
+
+@pytest.fixture(scope="session")
+def linear_data():
+    """A clean, linearly separable binary problem (train/test)."""
+    X, y = make_classification(
+        n_samples=240, n_features=5, class_sep=4.5, flip_y=0.0, random_state=11
+    )
+    return X[:180], y[:180], X[180:], y[180:]
+
+
+@pytest.fixture(scope="session")
+def noisy_linear_data():
+    """A noisy linear problem — exercises non-separable code paths."""
+    X, y = make_classification(
+        n_samples=240, n_features=5, class_sep=1.0, flip_y=0.1, random_state=13
+    )
+    return X[:180], y[:180], X[180:], y[180:]
+
+
+@pytest.fixture(scope="session")
+def circles_data():
+    """The CIRCLE-style non-linear problem."""
+    X, y = make_circles(n_samples=240, noise=0.08, random_state=17)
+    return X[:180], y[:180], X[180:], y[180:]
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

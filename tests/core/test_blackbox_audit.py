@@ -1,0 +1,44 @@
+"""Tests for the end-to-end §6 black-box audit orchestration."""
+
+import pytest
+
+from repro.core import MLaaSStudy, StudyScale
+
+
+@pytest.fixture(scope="module")
+def audit():
+    study = MLaaSStudy(
+        scale=StudyScale(max_datasets=4, size_cap=180, feature_cap=6,
+                         para_grid="default"),
+        random_state=0,
+    )
+    return study.run_blackbox_audit(
+        max_configs_per_classifier=2, qualification_threshold=0.9
+    ), study
+
+
+def test_audit_covers_both_blackboxes(audit):
+    result, _ = audit
+    assert set(result["reports"]) == {"abm", "google"}
+    assert set(result["comparisons"]) == {"abm", "google"}
+
+
+def test_predictors_trained_per_dataset(audit):
+    result, study = audit
+    assert set(result["predictors"]) == {d.name for d in study.corpus}
+
+
+def test_reports_only_qualified_datasets(audit):
+    result, _ = audit
+    qualified = {
+        name for name, p in result["predictors"].items() if p.qualified
+    }
+    for report in result["reports"].values():
+        assert set(report.choices) <= qualified
+
+
+def test_comparisons_cover_corpus(audit):
+    result, study = audit
+    for comparison in result["comparisons"].values():
+        assert comparison.n_datasets == len(study.corpus)
+        assert 0 <= comparison.n_naive_wins <= comparison.n_datasets

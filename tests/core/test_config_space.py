@@ -1,0 +1,119 @@
+"""Tests for configuration-space enumeration (§3.2, Table 2)."""
+
+import pytest
+
+from repro.core.config_space import (
+    baseline_configuration,
+    count_measurements,
+    enumerate_configurations,
+    per_control_configurations,
+)
+from repro.core.controls import CLF, FEAT, PARA
+from repro.exceptions import ValidationError
+from repro.platforms import ABM, Amazon, BigML, Google, Microsoft, PredictionIO
+
+
+class TestBaseline:
+    def test_blackbox_baseline_is_empty(self):
+        config = baseline_configuration(Google())
+        assert config.classifier is None
+        assert config.params == ()
+
+    def test_classifier_platforms_baseline_is_default_lr(self):
+        for platform in (Amazon(), PredictionIO(), BigML(), Microsoft()):
+            config = baseline_configuration(platform)
+            assert config.classifier == "LR"
+            assert config.feature_selection is None
+            option = platform.controls.classifier("LR")
+            assert config.params_dict == option.default_params()
+
+
+class TestEnumerate:
+    def test_blackbox_yields_single_config(self):
+        assert len(list(enumerate_configurations(ABM()))) == 1
+
+    def test_amazon_single_axis_counts(self):
+        # LR has params with grids 3+3+2; single-axis = 1 default + (2+2+1).
+        configs = list(enumerate_configurations(Amazon(), para_grid="single_axis"))
+        assert len(configs) == 6
+
+    def test_full_grid_is_product(self):
+        configs = list(enumerate_configurations(Amazon(), para_grid="full"))
+        assert len(configs) == 3 * 3 * 2
+
+    def test_default_grid_one_per_classifier(self):
+        configs = list(enumerate_configurations(
+            PredictionIO(), para_grid="default"
+        ))
+        assert len(configs) == 3  # LR, NB, DT with defaults
+
+    def test_feat_multiplies_space(self):
+        with_feat = list(enumerate_configurations(
+            Microsoft(), para_grid="default", include_feat=True
+        ))
+        without = list(enumerate_configurations(
+            Microsoft(), para_grid="default", include_feat=False
+        ))
+        assert len(with_feat) == len(without) * 9  # None + 8 selectors
+
+    def test_tuned_dimensions_annotated(self):
+        configs = list(enumerate_configurations(
+            Microsoft(), para_grid="single_axis"
+        ))
+        baseline_like = [c for c in configs if not c.tuned]
+        assert len(baseline_like) == 1  # exactly the baseline
+        assert any(c.tuned == {CLF} for c in configs)
+        assert any(c.tuned == {PARA} for c in configs)
+        assert any(c.tuned == {FEAT} for c in configs)
+        assert any(c.tuned == {FEAT, CLF, PARA} for c in configs)
+
+    def test_unknown_para_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            list(enumerate_configurations(Amazon(), para_grid="adaptive"))
+
+
+class TestPerControl:
+    def test_feat_sweep_only_on_microsoft_like(self):
+        assert per_control_configurations(Amazon(), FEAT) == []
+        assert per_control_configurations(BigML(), FEAT) == []
+        microsoft = per_control_configurations(Microsoft(), FEAT)
+        assert len(microsoft) == 8
+        assert all(c.classifier == "LR" for c in microsoft)
+        assert all(c.tuned == {FEAT} for c in microsoft)
+
+    def test_clf_sweep_holds_defaults(self):
+        configs = per_control_configurations(BigML(), CLF)
+        assert [c.classifier for c in configs] == ["LR", "DT", "BAG", "RF"]
+        for config in configs:
+            option = BigML().controls.classifier(config.classifier)
+            assert config.params_dict == option.default_params()
+
+    def test_clf_sweep_empty_for_single_classifier_platform(self):
+        assert per_control_configurations(Amazon(), CLF) == []
+
+    def test_para_sweep_stays_on_baseline_classifier(self):
+        configs = per_control_configurations(Amazon(), PARA)
+        assert all(c.classifier == "LR" for c in configs)
+        assert len(configs) == 6  # single-axis grid of Amazon LR
+
+    def test_blackbox_has_no_sweeps(self):
+        for dimension in (FEAT, CLF, PARA):
+            assert per_control_configurations(Google(), dimension) == []
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            per_control_configurations(Amazon(), "IMPL")
+
+
+class TestCounts:
+    def test_table_2_row_shape(self):
+        row = count_measurements(Microsoft(), n_datasets=119)
+        assert row["n_feature_selectors"] == 8
+        assert row["n_classifiers"] == 7
+        assert row["n_parameters"] == 23
+        assert row["total_measurements"] == row["configs_per_dataset"] * 119
+
+    def test_counts_scale_with_datasets(self):
+        small = count_measurements(Amazon(), n_datasets=10)
+        large = count_measurements(Amazon(), n_datasets=100)
+        assert large["total_measurements"] == 10 * small["total_measurements"]

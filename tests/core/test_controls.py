@@ -1,0 +1,51 @@
+"""Tests for control dimensions and Configuration."""
+
+from repro.core.controls import CLF, CONTROL_DIMENSIONS, FEAT, PARA, Configuration
+
+
+def test_dimension_constants():
+    assert CONTROL_DIMENSIONS == ("FEAT", "CLF", "PARA")
+    assert FEAT == "FEAT" and CLF == "CLF" and PARA == "PARA"
+
+
+def test_make_sorts_params():
+    config = Configuration.make(
+        classifier="LR", params={"b": 2, "a": 1}
+    )
+    assert config.params == (("a", 1), ("b", 2))
+    assert config.params_dict == {"a": 1, "b": 2}
+
+
+def test_configuration_is_hashable_and_comparable():
+    a = Configuration.make(classifier="LR", params={"C": 1.0})
+    b = Configuration.make(classifier="LR", params={"C": 1.0})
+    c = Configuration.make(classifier="DT")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert len({a, b, c}) == 2
+
+
+def test_empty_configuration_for_blackbox():
+    config = Configuration.make()
+    assert config.classifier is None
+    assert config.params == ()
+    assert config.feature_selection is None
+    assert config.label() == "auto"
+
+
+def test_label_rendering():
+    config = Configuration.make(
+        classifier="RF",
+        params={"n_trees": 8},
+        feature_selection="filter_chi",
+    )
+    label = config.label()
+    assert "RF" in label
+    assert "feat=filter_chi" in label
+    assert "n_trees=8" in label
+
+
+def test_tuned_dimensions_stored_as_frozenset():
+    config = Configuration.make(classifier="DT", tuned={CLF, PARA})
+    assert config.tuned == frozenset({"CLF", "PARA"})

@@ -1,0 +1,116 @@
+"""Tests for result records and the result store."""
+
+import numpy as np
+import pytest
+
+from repro.core.controls import Configuration
+from repro.core.results import ExperimentResult, ResultStore
+from repro.learn.metrics import MetricSummary
+
+
+def make_result(platform="p", dataset="d", f=0.5, status="ok", classifier="LR",
+                params=None, feat=None, tuned=()):
+    return ExperimentResult(
+        platform=platform,
+        dataset=dataset,
+        configuration=Configuration.make(
+            classifier=classifier, params=params, feature_selection=feat,
+            tuned=tuned,
+        ),
+        metrics=MetricSummary(f_score=f, accuracy=f, precision=f, recall=f),
+        status=status,
+    )
+
+
+def test_store_collects_and_counts():
+    store = ResultStore()
+    store.add(make_result())
+    store.extend([make_result(dataset="e"), make_result(dataset="f")])
+    assert len(store) == 3
+    assert store.datasets() == ["d", "e", "f"]
+
+
+def test_ok_filters_failures():
+    store = ResultStore([make_result(), make_result(status="failed", f=0.0)])
+    assert len(store.ok()) == 1
+
+
+def test_platform_and_dataset_queries():
+    store = ResultStore([
+        make_result(platform="a", dataset="x"),
+        make_result(platform="b", dataset="x"),
+        make_result(platform="a", dataset="y"),
+    ])
+    assert len(store.for_platform("a")) == 2
+    assert len(store.for_dataset("x")) == 2
+    assert store.platforms() == ["a", "b"]
+
+
+def test_best_per_dataset_picks_max():
+    store = ResultStore([
+        make_result(dataset="x", f=0.3, params={"C": 1}),
+        make_result(dataset="x", f=0.8, params={"C": 2}),
+        make_result(dataset="x", f=0.5, params={"C": 3}),
+        make_result(dataset="y", f=0.4),
+    ])
+    best = store.best_per_dataset()
+    assert best["x"].f_score == 0.8
+    assert best["y"].f_score == 0.4
+
+
+def test_best_per_dataset_ignores_failures():
+    store = ResultStore([
+        make_result(dataset="x", f=0.2),
+        make_result(dataset="x", f=0.9, status="failed"),
+    ])
+    assert store.best_per_dataset()["x"].f_score == 0.2
+
+
+def test_mean_score_is_average_of_per_dataset_best():
+    store = ResultStore([
+        make_result(dataset="x", f=0.4, params={"C": 1}),
+        make_result(dataset="x", f=0.6, params={"C": 2}),
+        make_result(dataset="y", f=1.0),
+    ])
+    assert store.mean_score() == pytest.approx(0.8)  # mean(0.6, 1.0)
+
+
+def test_mean_score_empty_store_is_nan():
+    assert np.isnan(ResultStore().mean_score())
+
+
+def test_scores_by_dataset_groups_all_ok():
+    store = ResultStore([
+        make_result(dataset="x", f=0.1, params={"C": 1}),
+        make_result(dataset="x", f=0.2, params={"C": 2}),
+        make_result(dataset="x", f=0.9, status="failed", params={"C": 3}),
+    ])
+    grouped = store.scores_by_dataset()
+    assert sorted(grouped["x"]) == [0.1, 0.2]
+
+
+def test_json_roundtrip(tmp_path):
+    store = ResultStore([
+        make_result(dataset="x", f=0.42, params={"C": 1.0}, feat="filter_chi",
+                    tuned={"FEAT", "PARA"}),
+        make_result(dataset="y", status="failed", f=0.0),
+    ])
+    path = tmp_path / "results.json"
+    store.save(path)
+    loaded = ResultStore.load(path)
+    assert len(loaded) == 2
+    original = list(store)[0]
+    restored = list(loaded)[0]
+    assert restored.platform == original.platform
+    assert restored.configuration == original.configuration
+    assert restored.metrics == original.metrics
+    assert list(loaded)[1].status == "failed"
+
+
+def test_where_predicate():
+    store = ResultStore([
+        make_result(classifier="LR"),
+        make_result(classifier="DT"),
+    ])
+    trees = store.where(lambda r: r.configuration.classifier == "DT")
+    assert len(trees) == 1

@@ -1,0 +1,91 @@
+"""Tests for resumable sweeps and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, ExperimentRunner
+from repro.core.results import ResultStore
+from repro.datasets import load_dataset
+from repro.platforms import Amazon
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("synthetic/linear", size_cap=150)
+
+
+@pytest.fixture()
+def configurations():
+    return [
+        Configuration.make(classifier="LR", params={"maxIter": 10}),
+        Configuration.make(classifier="LR", params={"maxIter": 1000}),
+        Configuration.make(classifier="LR", params={"regParam": 1.0}),
+    ]
+
+
+def test_resume_skips_completed_measurements(dataset, configurations):
+    runner = ExperimentRunner(split_seed=0)
+    partial = runner.sweep(Amazon(random_state=0), [dataset], configurations[:2])
+    assert len(partial) == 2
+
+    class CountingAmazon(Amazon):
+        trained = 0
+
+        def _assemble(self, handle, X, y):
+            CountingAmazon.trained += 1
+            return super()._assemble(handle, X, y)
+
+    full = runner.sweep(
+        CountingAmazon(random_state=0), [dataset], configurations,
+        resume_from=partial,
+    )
+    assert len(full) == 3
+    assert CountingAmazon.trained == 1  # only the missing config ran
+
+
+def test_resume_ignores_other_platforms(dataset, configurations):
+    runner = ExperimentRunner(split_seed=0)
+    partial = runner.sweep(Amazon(random_state=0), [dataset], configurations[:1])
+    # Pretend the partial store came from a different platform.
+    foreign = ResultStore()
+    for result in partial:
+        foreign.add(type(result)(
+            platform="someone-else",
+            dataset=result.dataset,
+            configuration=result.configuration,
+            metrics=result.metrics,
+        ))
+    full = runner.sweep(
+        Amazon(random_state=0), [dataset], configurations[:1],
+        resume_from=foreign,
+    )
+    # Foreign results are not ours; the measurement re-runs.
+    assert len(full.for_platform("amazon")) == 1
+
+
+def test_checkpoint_written(tmp_path, dataset, configurations):
+    runner = ExperimentRunner(split_seed=0)
+    path = tmp_path / "checkpoint.json"
+    store = runner.sweep(
+        Amazon(random_state=0), [dataset], configurations,
+        checkpoint_path=path, checkpoint_every=1,
+    )
+    assert path.exists()
+    loaded = ResultStore.load(path)
+    assert len(loaded) == len(store) == 3
+
+
+def test_resume_from_checkpoint_roundtrip(tmp_path, dataset, configurations):
+    runner = ExperimentRunner(split_seed=0)
+    path = tmp_path / "checkpoint.json"
+    runner.sweep(
+        Amazon(random_state=0), [dataset], configurations[:2],
+        checkpoint_path=path,
+    )
+    resumed = runner.sweep(
+        Amazon(random_state=0), [dataset], configurations,
+        resume_from=ResultStore.load(path),
+    )
+    assert len(resumed) == 3
+    scores = [r.f_score for r in resumed]
+    assert all(0.0 <= s <= 1.0 for s in scores)

@@ -1,0 +1,55 @@
+"""Edge-case runner behaviours: quotas, rate limits, metadata."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, ExperimentRunner
+from repro.datasets import load_dataset
+from repro.platforms import Google
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("synthetic/linear", size_cap=150)
+
+
+def test_rate_limited_platform_records_failures(dataset):
+    # Three API calls per measurement (upload/create/predict): a quota of
+    # 4 lets the first measurement through and fails the second cleanly.
+    class Clock:
+        def __call__(self):
+            return 0.0
+
+    platform = Google(random_state=0, rate_limit_per_minute=4, clock=Clock())
+    runner = ExperimentRunner(split_seed=0)
+    first = runner.run_one(platform, dataset, Configuration.make())
+    second = runner.run_one(platform, dataset, Configuration.make())
+    assert first.ok
+    assert not second.ok
+    assert "rate limit" in second.failure_reason
+
+
+def test_upload_quota_records_failure(dataset):
+    platform = Google(random_state=0)
+    platform.max_upload_samples = 10
+    runner = ExperimentRunner(split_seed=0)
+    result = runner.run_one(platform, dataset, Configuration.make())
+    assert not result.ok
+    assert "rejects uploads" in result.failure_reason
+
+
+def test_result_metadata_carries_job_accounting(dataset):
+    runner = ExperimentRunner(split_seed=0)
+    result = runner.run_one(Google(random_state=0), dataset, Configuration.make())
+    assert result.metadata["training_seconds"] >= 0.0
+    assert result.metadata["n_predictions"] == len(runner.split(dataset).y_test)
+    assert result.metadata["n_training_samples"] == len(runner.split(dataset).y_train)
+    assert isinstance(result.metadata["job_seed"], int)
+
+
+def test_identical_measurements_are_reproducible(dataset):
+    runner = ExperimentRunner(split_seed=0)
+    a = runner.run_one(Google(random_state=5), dataset, Configuration.make())
+    b = runner.run_one(Google(random_state=5), dataset, Configuration.make())
+    assert a.metrics == b.metrics
+    assert a.metadata["job_seed"] == b.metadata["job_seed"]

@@ -1,0 +1,126 @@
+"""Tests for the experiment runner and study orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Configuration,
+    ExperimentRunner,
+    MLaaSStudy,
+    StudyScale,
+)
+from repro.datasets import load_dataset
+from repro.platforms import Amazon, Google, LocalLibrary, Microsoft
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("synthetic/linear", size_cap=250)
+
+
+@pytest.fixture(scope="module")
+def circle():
+    return load_dataset("synthetic/circle", size_cap=250)
+
+
+class TestRunner:
+    def test_run_one_success(self, dataset):
+        runner = ExperimentRunner()
+        result = runner.run_one(Google(), dataset, Configuration.make())
+        assert result.ok
+        assert result.platform == "google"
+        assert result.dataset == dataset.name
+        assert 0.0 <= result.f_score <= 1.0
+
+    def test_split_is_cached_and_shared(self, dataset):
+        runner = ExperimentRunner()
+        first = runner.split(dataset)
+        second = runner.split(dataset)
+        assert first is second
+
+    def test_same_split_across_platforms(self, dataset):
+        # Paper: same train and held-out test set on every platform.
+        runner = ExperimentRunner()
+        split = runner.split(dataset)
+        runner.run_one(Google(), dataset, Configuration.make())
+        assert runner.split(dataset) is split
+
+    def test_failed_configuration_recorded(self, dataset):
+        runner = ExperimentRunner()
+        result = runner.run_one(
+            LocalLibrary(),
+            dataset,
+            Configuration.make(classifier="KNN", params={"n_neighbors": -3}),
+        )
+        assert not result.ok
+        assert result.metrics.f_score == 0.0
+        assert result.failure_reason
+
+    def test_unsupported_control_recorded_as_failure(self, dataset):
+        runner = ExperimentRunner()
+        result = runner.run_one(
+            Google(), dataset, Configuration.make(classifier="LR")
+        )
+        assert not result.ok
+        assert "black-box" in result.failure_reason
+
+    def test_sweep_covers_grid(self, dataset, circle):
+        runner = ExperimentRunner()
+        configs = [
+            Configuration.make(classifier="LR", params={"maxIter": 10}),
+            Configuration.make(classifier="LR", params={"maxIter": 1000}),
+        ]
+        store = runner.sweep(Amazon(), [dataset, circle], configs)
+        assert len(store) == 4
+
+    def test_resources_freed_after_run(self, dataset):
+        runner = ExperimentRunner()
+        platform = Google()
+        runner.run_one(platform, dataset, Configuration.make())
+        assert platform.list_datasets() == []
+
+    def test_predictions_for_returns_test_labels(self, dataset):
+        runner = ExperimentRunner()
+        y_test, predictions = runner.predictions_for(
+            Google(), dataset, Configuration.make()
+        )
+        assert len(y_test) == len(predictions)
+        split = runner.split(dataset)
+        assert np.array_equal(y_test, split.y_test)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return MLaaSStudy(scale=StudyScale.tiny(), random_state=0)
+
+    def test_corpus_respects_scale(self, study):
+        assert len(study.corpus) == 4
+        assert all(d.X.shape[0] <= 150 for d in study.corpus)
+
+    def test_baseline_one_result_per_platform_dataset(self, study):
+        store = study.run_baseline()
+        assert len(store) == 7 * 4
+        for platform in store.platforms():
+            assert len(store.for_platform(platform)) == 4
+
+    def test_per_control_skips_unsupporting_platforms(self, study):
+        feat_store = study.run_per_control("FEAT")
+        assert set(feat_store.platforms()) == {"microsoft", "local"}
+        clf_store = study.run_per_control("CLF")
+        assert "amazon" not in clf_store.platforms()
+        assert "bigml" in clf_store.platforms()
+
+    def test_platform_lookup(self, study):
+        assert study.platform("google").name == "google"
+        with pytest.raises(KeyError):
+            study.platform("watson")
+
+    def test_scale_presets(self):
+        assert StudyScale.tiny().max_datasets == 4
+        assert StudyScale.paper().max_datasets is None
+        assert StudyScale.paper().para_grid == "full"
+
+    def test_optimized_platform_filter(self, study):
+        store = study.run_optimized(platforms=["amazon"])
+        assert store.platforms() == ["amazon"]

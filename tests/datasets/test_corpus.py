@@ -1,0 +1,116 @@
+"""Tests for dataset materialization and preprocessing (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CORPUS,
+    Dataset,
+    get_spec,
+    load_corpus,
+    load_dataset,
+    preprocess,
+)
+
+
+def test_load_dataset_by_name():
+    dataset = load_dataset("synthetic/circle")
+    assert dataset.name == "synthetic/circle"
+    assert dataset.X.shape[1] == 2
+    assert set(np.unique(dataset.y)) == {0, 1}
+
+
+def test_load_dataset_by_spec():
+    spec = get_spec("synthetic/xor")
+    dataset = load_dataset(spec)
+    assert dataset.spec is spec
+
+
+def test_loaded_data_is_clean():
+    # A dataset with categoricals and missing values must come out numeric
+    # and NaN-free after the §3.1 preprocessing.
+    spec = next(
+        s for s in CORPUS if s.n_categorical > 0 and s.missing_rate > 0.0
+    )
+    dataset = load_dataset(spec, size_cap=300)
+    assert dataset.X.dtype == np.float64
+    assert not np.isnan(dataset.X).any()
+
+
+def test_size_cap_limits_rows():
+    dataset = load_dataset("computer_games/comp_17", size_cap=500)
+    assert dataset.X.shape[0] <= 500
+
+
+def test_feature_cap_limits_columns():
+    spec = next(s for s in CORPUS if s.n_features > 200)
+    dataset = load_dataset(spec, size_cap=200, feature_cap=50)
+    assert dataset.X.shape[1] <= 50
+
+
+def test_loading_is_deterministic():
+    a = load_dataset("life_science/life_05", size_cap=200)
+    b = load_dataset("life_science/life_05", size_cap=200)
+    assert np.array_equal(a.X, b.X)
+    assert np.array_equal(a.y, b.y)
+
+
+def test_split_is_70_30_stratified():
+    dataset = load_dataset("synthetic/linear", size_cap=400)
+    split = dataset.split(random_state=0)
+    total = len(split.y_train) + len(split.y_test)
+    assert total == len(dataset.y)
+    assert len(split.y_test) / total == pytest.approx(0.3, abs=0.03)
+    assert abs(split.y_train.mean() - split.y_test.mean()) < 0.12
+
+
+def test_split_deterministic():
+    dataset = load_dataset("synthetic/linear", size_cap=300)
+    a = dataset.split(random_state=3)
+    b = dataset.split(random_state=3)
+    assert np.array_equal(a.X_train, b.X_train)
+
+
+def test_preprocess_encodes_and_imputes():
+    raw = np.array(
+        [
+            ["red", 1.0],
+            ["blue", None],
+            [None, 3.0],
+            ["red", 4.0],
+        ],
+        dtype=object,
+    )
+    y = np.array([0, 1, 0, 1])
+    X, y_out = preprocess(raw, y)
+    assert X.dtype == np.float64
+    assert not np.isnan(X).any()
+    assert np.array_equal(y_out, y)
+    # Missing numeric replaced by median of {1, 3, 4} = 3.
+    assert X[1, 1] == pytest.approx(3.0)
+
+
+def test_load_corpus_domain_stratified_subset():
+    corpus = load_corpus(max_datasets=14, size_cap=100, feature_cap=10)
+    assert len(corpus) == 14
+    domains = {d.domain for d in corpus}
+    assert len(domains) == 7  # every domain represented
+
+
+def test_load_corpus_full_size():
+    corpus = load_corpus(size_cap=60, feature_cap=5)
+    assert len(corpus) == 119
+
+
+def test_load_corpus_domain_filter():
+    corpus = load_corpus(domains=["synthetic"], size_cap=100)
+    assert len(corpus) == 17
+    assert all(d.domain == "synthetic" for d in corpus)
+
+
+def test_every_corpus_dataset_loads_at_small_scale():
+    for dataset in load_corpus(size_cap=80, feature_cap=8):
+        assert isinstance(dataset, Dataset)
+        assert dataset.X.shape[0] >= 15
+        assert len(np.unique(dataset.y)) == 2
+        assert np.all(np.isfinite(dataset.X))

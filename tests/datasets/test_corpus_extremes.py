@@ -1,0 +1,58 @@
+"""The corpus's pinned extreme datasets must load and behave (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CORPUS, load_dataset
+
+
+def spec_with(predicate):
+    return next(s for s in CORPUS if predicate(s))
+
+
+def test_smallest_dataset_has_15_samples_and_trains():
+    spec = spec_with(lambda s: s.n_samples == 15)
+    dataset = load_dataset(spec)
+    assert dataset.X.shape[0] == 15
+    assert len(np.unique(dataset.y)) == 2
+    # Even the 15-sample dataset supports the paper's 70/30 protocol.
+    split = dataset.split(random_state=0)
+    assert len(split.y_test) >= 1
+    assert len(np.unique(split.y_train)) == 2
+
+
+def test_largest_dataset_is_capped_on_demand():
+    spec = spec_with(lambda s: s.n_samples == 245_057)
+    dataset = load_dataset(spec, size_cap=1000)
+    assert dataset.X.shape[0] == 1000
+
+
+def test_single_feature_dataset_trains():
+    spec = spec_with(lambda s: s.n_features == 1)
+    dataset = load_dataset(spec, size_cap=300)
+    assert dataset.X.shape[1] == 1
+    from repro.learn import LogisticRegression
+
+    split = dataset.split(random_state=0)
+    model = LogisticRegression().fit(split.X_train, split.y_train)
+    assert model.score(split.X_test, split.y_test) > 0.5
+
+
+def test_widest_dataset_supports_feature_selection():
+    spec = spec_with(lambda s: s.n_features == 4_702)
+    dataset = load_dataset(spec, size_cap=120, feature_cap=500)
+    assert dataset.X.shape[1] == 500
+    from repro.learn.feature_selection import SelectKBest
+
+    Z = SelectKBest(scorer="f_classif", k=20).fit_transform(
+        dataset.X, dataset.y
+    )
+    assert Z.shape == (dataset.X.shape[0], 20)
+
+
+@pytest.mark.parametrize("name", [
+    "synthetic/circle", "synthetic/linear", "synthetic/xor",
+    "synthetic/spirals",
+])
+def test_named_probes_have_two_features(name):
+    assert load_dataset(name, size_cap=100).X.shape[1] == 2

@@ -1,0 +1,91 @@
+"""Tests for CSV loading/saving with the §3.1 preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.io import load_csv, save_csv
+from repro.exceptions import ValidationError
+
+
+def write(tmp_path, content, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(content)
+    return path
+
+
+def test_load_mixed_csv(tmp_path):
+    path = write(tmp_path, (
+        "size,color,verdict\n"
+        "1.5,red,spam\n"
+        "2.5,blue,ham\n"
+        "3.5,red,spam\n"
+        "?,blue,ham\n"
+    ))
+    dataset = load_csv(path, label_column="verdict")
+    assert dataset.X.shape == (4, 2)
+    assert dataset.name == "data"
+    assert set(np.unique(dataset.y)) == {0, 1}
+    # Missing size imputed with the median of {1.5, 2.5, 3.5}.
+    assert dataset.X[3, 0] == pytest.approx(2.5)
+    # Categorical color -> {blue: 1, red: 2}.
+    assert dataset.X[0, 1] == 2.0
+
+
+def test_label_by_negative_index(tmp_path):
+    path = write(tmp_path, "1,0\n2,1\n3,0\n", name="plain.csv")
+    dataset = load_csv(path, label_column=-1, has_header=False)
+    assert dataset.X.shape == (3, 1)
+    assert dataset.y.tolist() == [0, 1, 0]
+
+
+def test_semicolon_delimiter_sniffed(tmp_path):
+    path = write(tmp_path, "a;b;y\n1;2;x\n3;4;z\n")
+    dataset = load_csv(path, label_column="y")
+    assert dataset.X.shape == (2, 2)
+
+
+def test_missing_tokens_recognized(tmp_path):
+    path = write(tmp_path, "a,y\nNA,0\n5.0,1\nnull,0\n7.0,1\n")
+    dataset = load_csv(path, label_column="y")
+    assert not np.isnan(dataset.X).any()
+    assert dataset.X[0, 0] == pytest.approx(6.0)  # median of 5, 7
+
+
+def test_errors(tmp_path):
+    with pytest.raises(ValidationError, match="empty"):
+        load_csv(write(tmp_path, "", name="empty.csv"))
+    with pytest.raises(ValidationError, match="no column named"):
+        load_csv(write(tmp_path, "a,b\n1,0\n2,1\n"), label_column="missing")
+    with pytest.raises(ValidationError, match="out of range"):
+        load_csv(write(tmp_path, "a,b\n1,0\n2,1\n"), label_column=7)
+    with pytest.raises(ValidationError, match="2 label values"):
+        load_csv(write(tmp_path, "a,y\n1,0\n2,1\n3,2\n"), label_column="y")
+    with pytest.raises(ValidationError, match="cells"):
+        load_csv(write(tmp_path, "a,b,y\n1,2,0\n1,1\n"), label_column="y")
+
+
+def test_roundtrip_through_save(tmp_path):
+    original = load_dataset("synthetic/linear", size_cap=60)
+    path = tmp_path / "roundtrip.csv"
+    save_csv(original, path)
+    loaded = load_csv(path, label_column="label")
+    assert loaded.X.shape == original.X.shape
+    assert np.allclose(loaded.X, original.X)
+    assert np.array_equal(loaded.y, original.y)
+
+
+def test_loaded_dataset_flows_through_platforms(tmp_path):
+    path = write(tmp_path, "\n".join(
+        ["f1,f2,y"] + [
+            f"{i * 0.1},{(i * 7) % 5},{int(i % 10 < 5)}" for i in range(60)
+        ]
+    ))
+    dataset = load_csv(path, label_column="y")
+    from repro.core import Configuration, ExperimentRunner
+    from repro.platforms import Google
+
+    result = ExperimentRunner(split_seed=0).run_one(
+        Google(random_state=0), dataset, Configuration.make()
+    )
+    assert result.ok

@@ -1,0 +1,97 @@
+"""Tests for the 119-dataset corpus registry (paper Fig 3 marginals)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    CORPUS,
+    DOMAIN_COUNTS,
+    PROBE_CIRCLE,
+    PROBE_LINEAR,
+    corpus_domain_breakdown,
+    get_spec,
+)
+
+
+def test_corpus_has_119_datasets():
+    assert len(CORPUS) == 119
+
+
+def test_domain_breakdown_matches_figure_3a():
+    breakdown = corpus_domain_breakdown()
+    assert breakdown == DOMAIN_COUNTS
+    assert breakdown["life_science"] == 44
+    assert breakdown["computer_games"] == 18
+    assert breakdown["synthetic"] == 17
+    assert breakdown["social_science"] == 10
+    assert breakdown["physical_science"] == 10
+    assert breakdown["financial_business"] == 7
+    assert breakdown["other"] == 13
+
+
+def test_sample_count_range_matches_paper():
+    sizes = [spec.n_samples for spec in CORPUS]
+    assert min(sizes) == 15
+    assert max(sizes) == 245_057
+
+
+def test_feature_count_range_matches_paper():
+    features = [spec.n_features for spec in CORPUS]
+    assert min(features) == 1
+    assert max(features) == 4_702
+
+
+def test_sample_size_distribution_is_log_spread():
+    sizes = np.array([spec.n_samples for spec in CORPUS])
+    # Matching Fig 3b's CDF shape: a solid majority between 100 and 10k.
+    middle = np.mean((sizes >= 100) & (sizes <= 10_000))
+    assert middle > 0.5
+    assert np.mean(sizes > 100_000) <= 0.05
+
+
+def test_feature_count_distribution_mostly_small():
+    features = np.array([spec.n_features for spec in CORPUS])
+    assert np.mean(features <= 100) > 0.75  # Fig 3c: most datasets <= 100
+
+
+def test_names_are_unique():
+    names = [spec.name for spec in CORPUS]
+    assert len(set(names)) == len(names)
+
+
+def test_registry_is_deterministic():
+    from repro.datasets.registry import _build_corpus
+
+    again = _build_corpus()
+    assert again == CORPUS
+
+
+def test_probe_datasets_exist():
+    circle = get_spec(PROBE_CIRCLE)
+    assert circle.concept == "circles"
+    assert circle.n_features == 2
+    linear = get_spec(PROBE_LINEAR)
+    assert linear.concept == "linear"
+    assert linear.n_features == 2
+
+
+def test_get_spec_unknown_name():
+    with pytest.raises(KeyError, match="no corpus dataset"):
+        get_spec("nonexistent/foo")
+
+
+def test_synthetic_datasets_have_no_missing_values():
+    for spec in CORPUS:
+        if spec.domain == "synthetic":
+            assert spec.missing_rate == 0.0
+            assert spec.n_categorical == 0
+
+
+def test_corpus_concept_diversity():
+    concepts = {spec.concept for spec in CORPUS}
+    assert {"linear", "rule", "polynomial", "circles", "sparse_linear"} <= concepts
+
+
+def test_some_datasets_have_categoricals_and_missing():
+    assert any(spec.n_categorical > 0 for spec in CORPUS)
+    assert any(spec.missing_rate > 0.0 for spec in CORPUS)

@@ -1,0 +1,138 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    make_blobs,
+    make_circles,
+    make_classification,
+    make_gaussian_quantiles,
+    make_moons,
+    make_polynomial_concept,
+    make_rule_concept,
+    make_sparse_linear,
+    make_spirals,
+    make_xor,
+)
+from repro.exceptions import ValidationError
+
+GENERATORS = [
+    (make_circles, {}),
+    (make_classification, {"n_features": 4}),
+    (make_moons, {}),
+    (make_blobs, {"n_features": 3}),
+    (make_gaussian_quantiles, {"n_features": 3}),
+    (make_xor, {"n_features": 3}),
+    (make_spirals, {}),
+    (make_rule_concept, {"n_features": 6}),
+    (make_sparse_linear, {"n_features": 30}),
+    (make_polynomial_concept, {"n_features": 4}),
+]
+
+
+@pytest.mark.parametrize("generator,kwargs", GENERATORS)
+def test_shapes_and_binary_labels(generator, kwargs):
+    X, y = generator(n_samples=100, random_state=0, **kwargs)
+    assert X.shape[0] == 100
+    assert y.shape == (100,)
+    assert set(np.unique(y)) == {0, 1}
+    assert np.all(np.isfinite(X))
+
+
+@pytest.mark.parametrize("generator,kwargs", GENERATORS)
+def test_deterministic_given_seed(generator, kwargs):
+    X1, y1 = generator(n_samples=60, random_state=42, **kwargs)
+    X2, y2 = generator(n_samples=60, random_state=42, **kwargs)
+    assert np.array_equal(X1, X2)
+    assert np.array_equal(y1, y2)
+
+
+@pytest.mark.parametrize("generator,kwargs", GENERATORS)
+def test_different_seeds_differ(generator, kwargs):
+    X1, _ = generator(n_samples=60, random_state=1, **kwargs)
+    X2, _ = generator(n_samples=60, random_state=2, **kwargs)
+    assert not np.array_equal(X1, X2)
+
+
+def test_circles_radii_structure():
+    X, y = make_circles(n_samples=400, noise=0.0, factor=0.5, random_state=0)
+    radii = np.linalg.norm(X, axis=1)
+    assert np.allclose(radii[y == 0], 1.0, atol=1e-9)
+    assert np.allclose(radii[y == 1], 0.5, atol=1e-9)
+
+
+def test_circles_factor_validated():
+    with pytest.raises(ValidationError):
+        make_circles(factor=1.5)
+
+
+def test_classification_class_separation_increases_accuracy():
+    from repro.learn.linear import LogisticRegression
+
+    X_easy, y_easy = make_classification(
+        n_samples=300, class_sep=4.0, flip_y=0.0, random_state=0
+    )
+    X_hard, y_hard = make_classification(
+        n_samples=300, class_sep=0.3, flip_y=0.0, random_state=0
+    )
+    easy = LogisticRegression().fit(X_easy, y_easy).score(X_easy, y_easy)
+    hard = LogisticRegression().fit(X_hard, y_hard).score(X_hard, y_hard)
+    assert easy > hard
+
+
+def test_classification_weights_control_imbalance():
+    _, y = make_classification(
+        n_samples=1000, weights=0.8, flip_y=0.0, random_state=0
+    )
+    assert np.mean(y == 0) == pytest.approx(0.8, abs=0.02)
+
+
+def test_classification_flip_y_adds_noise():
+    X, y_clean = make_classification(n_samples=500, flip_y=0.0, random_state=3)
+    X2, y_noisy = make_classification(n_samples=500, flip_y=0.3, random_state=3)
+    # With identical seeds the flip only changes labels.
+    assert np.array_equal(X, X2)
+    assert np.mean(y_clean != y_noisy) > 0.1
+
+
+def test_xor_requires_two_features():
+    with pytest.raises(ValidationError):
+        make_xor(n_features=1)
+
+
+def test_xor_is_not_linearly_separable():
+    from repro.learn.linear import LogisticRegression
+
+    X, y = make_xor(n_samples=400, noise=0.05, random_state=0)
+    score = LogisticRegression().fit(X, y).score(X, y)
+    assert score < 0.7
+
+
+def test_rule_concept_is_tree_learnable():
+    from repro.learn.tree import DecisionTreeClassifier
+
+    X, y = make_rule_concept(
+        n_samples=400, n_features=5, n_rules=2, flip_y=0.0, random_state=0
+    )
+    assert DecisionTreeClassifier().fit(X, y).score(X, y) > 0.95
+
+
+def test_sparse_linear_informative_subset():
+    X, y = make_sparse_linear(
+        n_samples=200, n_features=50, n_informative=3, random_state=0
+    )
+    assert X.shape == (200, 50)
+    assert 0.3 < y.mean() < 0.7  # median split keeps classes balanced
+
+
+def test_tiny_sample_count_rejected():
+    with pytest.raises(ValidationError):
+        make_circles(n_samples=2)
+
+
+def test_moons_two_clusters_disjoint_without_noise():
+    X, y = make_moons(n_samples=200, noise=0.0, random_state=0)
+    # Upper moon has y-coordinate >= 0, lower moon <= 0.5.
+    assert X[y == 0, 1].min() >= -1e-9
+    assert X[y == 1, 1].max() <= 0.5 + 1e-9

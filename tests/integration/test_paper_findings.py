@@ -1,0 +1,115 @@
+"""End-to-end tests of the paper's key findings at reduced scale.
+
+These are the reproduction's acceptance tests: each asserts the *shape*
+of one headline result — who wins, in which direction — on a small,
+deterministic corpus so the whole file runs in about a minute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    per_control_improvement,
+    performance_variation,
+    platform_summary,
+    subset_performance_curve,
+)
+from repro.core import MLaaSStudy, StudyScale
+
+SCALE = StudyScale(max_datasets=8, size_cap=250, feature_cap=12,
+                   para_grid="default")
+
+
+@pytest.fixture(scope="module")
+def study():
+    return MLaaSStudy(scale=SCALE, random_state=1)
+
+
+@pytest.fixture(scope="module")
+def baseline(study):
+    return study.run_baseline()
+
+
+@pytest.fixture(scope="module")
+def optimized(study):
+    return study.run_optimized()
+
+
+def test_every_platform_measured_on_every_dataset(baseline, study):
+    assert len(baseline) == 7 * len(study.corpus)
+    assert len(baseline.ok()) == len(baseline)
+
+
+def test_fig4_optimized_beats_baseline_on_tunable_platforms(baseline, optimized):
+    for platform in ("predictionio", "bigml", "microsoft", "local"):
+        assert optimized.for_platform(platform).mean_score() >= \
+            baseline.for_platform(platform).mean_score() - 1e-9
+
+
+def test_fig4_complexity_correlates_with_optimized_performance(optimized):
+    """High-complexity platforms (Microsoft/local) top the optimized ranking."""
+    scores = {
+        platform: optimized.for_platform(platform).mean_score()
+        for platform in optimized.platforms()
+    }
+    top_two = sorted(scores, key=lambda p: -scores[p])[:2]
+    assert set(top_two) <= {"microsoft", "local", "predictionio"}
+    # And the black boxes cannot be optimized at all, so they sit below
+    # the best tunable platform.
+    best_tunable = max(scores["microsoft"], scores["local"])
+    assert scores["google"] <= best_tunable
+    assert scores["abm"] <= best_tunable
+
+
+def test_fig4_microsoft_matches_local_when_tuned(optimized):
+    """The paper's headline: tuned Microsoft ~= tuned scikit-learn."""
+    microsoft = optimized.for_platform("microsoft").mean_score()
+    local = optimized.for_platform("local").mean_score()
+    assert abs(microsoft - local) < 0.08
+
+
+def test_table3_summary_produces_all_platforms(baseline):
+    summaries = platform_summary(baseline)
+    assert len(summaries) == 7
+    # Friedman order and F-score order broadly agree (the paper's
+    # validation of average F-score as the headline metric).
+    by_friedman = [s.platform for s in summaries]
+    by_f = sorted(
+        summaries, key=lambda s: -s.avg["f_score"]
+    )
+    assert by_friedman[0] == by_f[0].platform
+
+
+def test_fig5_classifier_choice_dominates_controls(study, baseline):
+    """CLF provides the largest average improvement (paper: 14.6%)."""
+    control_stores = study.run_all_controls()
+    improvements = {}
+    for dimension, store in control_stores.items():
+        values = []
+        for platform in store.platforms():
+            value = per_control_improvement(baseline, store, platform)
+            if np.isfinite(value):
+                values.append(value)
+        improvements[dimension] = np.mean(values) if values else np.nan
+    assert improvements["CLF"] == max(
+        improvements["CLF"], improvements.get("PARA", -np.inf),
+        improvements.get("FEAT", -np.inf),
+    )
+
+
+def test_fig6_variation_grows_with_complexity(optimized):
+    """More control => more risk: Microsoft/local spread widest."""
+    spreads = {
+        platform: performance_variation(optimized, platform).spread
+        for platform in ("amazon", "predictionio", "bigml", "microsoft", "local")
+    }
+    assert max(spreads, key=lambda p: spreads[p]) in ("microsoft", "local")
+    assert spreads["microsoft"] > spreads["amazon"]
+
+
+def test_fig8_three_classifiers_near_optimal(optimized):
+    """A random 3-subset of classifiers lands within ~5% of optimal."""
+    for platform in ("microsoft", "local"):
+        curve = dict(subset_performance_curve(optimized, platform))
+        full = max(curve.values())
+        assert curve[min(3, max(curve))] > full * 0.93

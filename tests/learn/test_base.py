@@ -1,0 +1,87 @@
+"""Tests for the estimator protocol (get/set params, clone, fitted checks)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.learn.base import BaseEstimator, check_is_fitted, clone
+from repro.learn.linear import LogisticRegression
+from repro.learn.tree import DecisionTreeClassifier
+
+
+class Toy(BaseEstimator):
+    def __init__(self, alpha=1.0, beta="x", gamma=None):
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+
+
+def test_get_params_returns_constructor_arguments():
+    toy = Toy(alpha=2.5, beta="y")
+    assert toy.get_params() == {"alpha": 2.5, "beta": "y", "gamma": None}
+
+
+def test_set_params_updates_and_returns_self():
+    toy = Toy()
+    returned = toy.set_params(alpha=9.0)
+    assert returned is toy
+    assert toy.alpha == 9.0
+
+
+def test_set_params_rejects_unknown_name():
+    with pytest.raises(ValueError, match="Invalid parameter"):
+        Toy().set_params(nonexistent=1)
+
+
+def test_repr_contains_parameters():
+    assert "alpha=2.5" in repr(Toy(alpha=2.5))
+
+
+def test_clone_copies_parameters_not_fitted_state():
+    model = LogisticRegression(C=0.5)
+    X = np.random.default_rng(0).normal(size=(30, 2))
+    y = (X[:, 0] > 0).astype(int)
+    model.fit(X, y)
+    cloned = clone(model)
+    assert cloned.C == 0.5
+    assert not hasattr(cloned, "coef_")
+
+
+def test_clone_deep_copies_mutable_parameters():
+    from repro.learn.neural import MLPClassifier
+
+    model = MLPClassifier(hidden_layer_sizes=(8, 4))
+    cloned = clone(model)
+    assert cloned.hidden_layer_sizes == (8, 4)
+    assert cloned.hidden_layer_sizes is not model.hidden_layer_sizes or isinstance(
+        model.hidden_layer_sizes, tuple
+    )
+
+
+def test_clone_clones_nested_estimators():
+    from repro.learn.ensemble import BaggingClassifier
+
+    base = DecisionTreeClassifier(max_depth=3)
+    bag = BaggingClassifier(base_estimator=base)
+    cloned = clone(bag)
+    assert cloned.base_estimator is not base
+    assert cloned.base_estimator.max_depth == 3
+
+
+def test_check_is_fitted_raises_before_fit():
+    with pytest.raises(NotFittedError, match="not fitted"):
+        check_is_fitted(LogisticRegression())
+
+
+def test_check_is_fitted_passes_after_fit():
+    X = np.random.default_rng(1).normal(size=(20, 2))
+    y = (X[:, 0] > 0).astype(int)
+    model = LogisticRegression().fit(X, y)
+    check_is_fitted(model)  # should not raise
+
+
+def test_classifier_score_is_accuracy():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0, 0, 1, 1])
+    model = DecisionTreeClassifier().fit(X, y)
+    assert model.score(X, y) == 1.0

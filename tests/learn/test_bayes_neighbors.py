@@ -1,0 +1,146 @@
+"""Tests for Naive Bayes variants and k-Nearest Neighbors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learn.bayes import BernoulliNB, GaussianNB
+from repro.learn.neighbors import KNeighborsClassifier
+
+
+class TestGaussianNB:
+    def test_learns_gaussian_classes(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([
+            rng.normal(loc=-2.0, size=(100, 2)),
+            rng.normal(loc=2.0, size=(100, 2)),
+        ])
+        y = np.repeat([0, 1], 100)
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_estimates_class_means(self):
+        X = np.array([[0.0], [0.2], [10.0], [10.2]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNB().fit(X, y)
+        assert model.theta_[0, 0] == pytest.approx(0.1)
+        assert model.theta_[1, 0] == pytest.approx(10.1)
+
+    def test_empirical_prior(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([0, 0, 0, 1])
+        model = GaussianNB().fit(X, y)
+        assert model.class_prior_.tolist() == [0.75, 0.25]
+
+    def test_explicit_priors_validated(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError, match="priors"):
+            GaussianNB(priors=(0.9, 0.9)).fit(X_train, y_train)
+
+    def test_uniform_prior_changes_boundary_on_imbalanced_data(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([
+            rng.normal(loc=-1.0, size=(180, 1)),
+            rng.normal(loc=1.0, size=(20, 1)),
+        ])
+        y = np.repeat([0, 1], [180, 20])
+        empirical = GaussianNB().fit(X, y)
+        uniform = GaussianNB(priors=(0.5, 0.5)).fit(X, y)
+        probe = np.array([[0.0]])
+        assert (
+            uniform.predict_proba(probe)[0, 1]
+            > empirical.predict_proba(probe)[0, 1]
+        )
+
+    def test_var_smoothing_guards_constant_features(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0], [4.0, 5.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNB().fit(X, y)
+        assert np.all(np.isfinite(model.predict_proba(X)))
+
+    def test_negative_smoothing_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            GaussianNB(var_smoothing=-1.0).fit(X_train, y_train)
+
+
+class TestBernoulliNB:
+    def test_learns_binary_patterns(self):
+        rng = np.random.default_rng(2)
+        n = 200
+        X = rng.random((n, 4))
+        y = (X[:, 0] > 0.5).astype(int)
+        X_bin = (X > 0.5).astype(float)
+        model = BernoulliNB().fit(X_bin, y)
+        assert model.score(X_bin, y) > 0.95
+
+    def test_smoothing_prevents_zero_probabilities(self):
+        X = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        y = np.array([0, 0, 1, 1])
+        model = BernoulliNB(alpha=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.feature_log_prob_))
+
+    def test_negative_alpha_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            BernoulliNB(alpha=-0.5).fit(X_train, y_train)
+
+
+class TestKNN:
+    def test_one_neighbor_memorizes_training_set(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        model = KNeighborsClassifier(n_neighbors=1).fit(X_train, y_train)
+        assert model.score(X_train, y_train) == 1.0
+
+    def test_k_larger_than_dataset_is_clamped(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        predictions = model.predict(np.array([[1.5]]))
+        assert predictions.shape == (1,)
+
+    def test_distance_weighting_prefers_closer_neighbors(self):
+        # Two class-0 points far away, one class-1 point very close.
+        X = np.array([[0.0], [10.0], [10.2]])
+        y = np.array([1, 0, 0])
+        model = KNeighborsClassifier(n_neighbors=3, weights="distance").fit(X, y)
+        assert model.predict(np.array([[0.1]]))[0] == 1
+        uniform = KNeighborsClassifier(n_neighbors=3, weights="uniform").fit(X, y)
+        assert uniform.predict(np.array([[0.1]]))[0] == 0
+
+    def test_exact_match_dominates_distance_vote(self):
+        X = np.array([[0.0], [0.1], [0.2]])
+        y = np.array([1, 0, 0])
+        model = KNeighborsClassifier(n_neighbors=3, weights="distance").fit(X, y)
+        assert model.predict(np.array([[0.0]]))[0] == 1
+
+    def test_manhattan_vs_euclidean_changes_neighbors(self):
+        X = np.array([[0.0, 0.0], [3.0, 0.0], [2.2, 2.2]])
+        y = np.array([0, 1, 1])
+        query = np.array([[1.9, 1.9]])
+        euclid = KNeighborsClassifier(n_neighbors=1, p=2.0).fit(X, y)
+        manhattan = KNeighborsClassifier(n_neighbors=1, p=1.0).fit(X, y)
+        # d_euclid(query, [3,0]) ≈ 2.2 > d_euclid(query, [2.2,2.2]) ≈ 0.42
+        assert euclid.predict(query)[0] == 1
+        assert manhattan.predict(query)[0] == 1
+
+    def test_chunked_prediction_matches_small_batches(self, linear_data):
+        X_train, y_train, X_test, _ = linear_data
+        model = KNeighborsClassifier(n_neighbors=3).fit(X_train, y_train)
+        whole = model.predict(X_test)
+        pieces = np.concatenate([model.predict(X_test[i : i + 7]) for i in range(0, len(X_test), 7)])
+        assert np.array_equal(whole, pieces)
+
+    def test_invalid_parameters_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(n_neighbors=0).fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(weights="magic").fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(p=-1.0).fit(X_train, y_train)
+
+    def test_knn_solves_circles(self, circles_data):
+        X_train, y_train, X_test, y_test = circles_data
+        model = KNeighborsClassifier(n_neighbors=5).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.9

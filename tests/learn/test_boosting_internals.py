@@ -1,0 +1,82 @@
+"""Internal behaviours of gradient boosting's regression-tree machinery."""
+
+import numpy as np
+import pytest
+
+from repro.learn.ensemble import GradientBoostingClassifier
+from repro.learn.ensemble.boosting import _RegressionTree
+
+
+@pytest.fixture()
+def residual_problem(rng):
+    X = rng.uniform(-1, 1, size=(200, 3))
+    residual = np.where(X[:, 0] > 0, 0.5, -0.5) + 0.01 * rng.normal(size=200)
+    hessian = np.full(200, 0.25)
+    return X, residual, hessian
+
+
+def test_regression_tree_finds_residual_structure(residual_problem, rng):
+    X, residual, hessian = residual_problem
+    tree = _RegressionTree(max_depth=2, min_samples_leaf=1,
+                           max_features=None, rng=rng)
+    tree.fit(X, residual, hessian)
+    predictions = tree.predict(X)
+    # Newton leaf values approximate residual/hessian means per region.
+    positive = X[:, 0] > 0
+    assert predictions[positive].mean() > 0.0
+    assert predictions[~positive].mean() < 0.0
+
+
+def test_leaf_value_is_newton_step(rng):
+    X = np.zeros((4, 1))
+    residual = np.array([1.0, 1.0, 2.0, 2.0])
+    hessian = np.array([0.5, 0.5, 0.5, 0.5])
+    tree = _RegressionTree(max_depth=1, min_samples_leaf=1,
+                           max_features=None, rng=rng)
+    tree.fit(X, residual, hessian)  # constant feature: single leaf
+    assert tree.predict(np.zeros((1, 1)))[0] == pytest.approx(
+        residual.sum() / hessian.sum()
+    )
+
+
+def test_zero_hessian_leaf_returns_zero(rng):
+    X = np.zeros((3, 1))
+    tree = _RegressionTree(max_depth=1, min_samples_leaf=1,
+                           max_features=None, rng=rng)
+    tree.fit(X, np.array([1.0, 2.0, 3.0]), np.zeros(3))
+    assert tree.predict(np.zeros((1, 1)))[0] == 0.0
+
+
+def test_boosting_decision_function_accumulates(circles_data):
+    X_train, y_train, X_test, _ = circles_data
+    few = GradientBoostingClassifier(n_estimators=3, random_state=0)
+    few.fit(X_train, y_train)
+    partial = np.full(X_test.shape[0], few.initial_score_)
+    for tree in few.trees_:
+        partial += few.learning_rate * tree.predict(X_test)
+    assert np.allclose(partial, few.decision_function(X_test))
+
+
+def test_boosting_with_min_leaf_regularizes(circles_data):
+    X_train, y_train, _, _ = circles_data
+    loose = GradientBoostingClassifier(
+        n_estimators=20, min_samples_leaf=1, random_state=0
+    ).fit(X_train, y_train)
+    tight = GradientBoostingClassifier(
+        n_estimators=20, min_samples_leaf=30, random_state=0
+    ).fit(X_train, y_train)
+    # A large leaf minimum restricts fitting capacity on the train set.
+    assert tight.score(X_train, y_train) <= loose.score(X_train, y_train) + 1e-9
+
+
+def test_boosting_feature_subsampling_changes_trees(circles_data):
+    X_train, y_train, X_test, _ = circles_data
+    full = GradientBoostingClassifier(
+        n_estimators=10, max_features=None, random_state=0
+    ).fit(X_train, y_train)
+    sub = GradientBoostingClassifier(
+        n_estimators=10, max_features=1, random_state=0
+    ).fit(X_train, y_train)
+    assert not np.allclose(
+        full.decision_function(X_test), sub.decision_function(X_test)
+    )

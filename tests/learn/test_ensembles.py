@@ -1,0 +1,177 @@
+"""Tests for bagging, random forests, AdaBoost and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learn.ensemble import (
+    AdaBoostClassifier,
+    BaggingClassifier,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+from repro.learn.linear import LogisticRegression
+from repro.learn.metrics import f_score
+from repro.learn.tree import DecisionTreeClassifier
+
+
+class TestBagging:
+    def test_prediction_is_member_probability_average(self, noisy_linear_data):
+        X_train, y_train, X_test, _ = noisy_linear_data
+        bag = BaggingClassifier(n_estimators=9, random_state=0).fit(X_train, y_train)
+        member_mean = np.mean(
+            [m.predict_proba(X_test)[:, 1] for m in bag.estimators_], axis=0
+        )
+        assert np.allclose(bag.predict_proba(X_test)[:, 1], member_mean)
+
+    def test_ensemble_size(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        bag = BaggingClassifier(n_estimators=7, random_state=0).fit(X_train, y_train)
+        assert len(bag.estimators_) == 7
+
+    def test_custom_base_estimator(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        bag = BaggingClassifier(
+            base_estimator=LogisticRegression(),
+            n_estimators=5,
+            random_state=0,
+        ).fit(X_train, y_train)
+        assert bag.score(X_test, y_test) > 0.85
+
+    def test_max_samples_fraction(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        bag = BaggingClassifier(
+            n_estimators=10, max_samples=0.3, random_state=0
+        ).fit(X_train, y_train)
+        assert bag.score(X_test, y_test) > 0.7
+
+    def test_invalid_parameters_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            BaggingClassifier(n_estimators=0).fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            BaggingClassifier(max_samples=0.0).fit(X_train, y_train)
+
+    def test_every_bootstrap_sees_both_classes(self):
+        # Highly imbalanced data: naive bootstraps often miss class 1.
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        y = np.zeros(60, dtype=int)
+        y[:4] = 1
+        X[:4] += 5.0
+        bag = BaggingClassifier(n_estimators=20, random_state=0).fit(X, y)
+        for member in bag.estimators_:
+            assert len(member.classes_) == 2
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_nonlinear_noise(self, circles_data):
+        X_train, y_train, X_test, y_test = circles_data
+        forest = RandomForestClassifier(
+            n_estimators=30, random_state=0
+        ).fit(X_train, y_train)
+        assert forest.score(X_test, y_test) > 0.9
+
+    def test_no_bootstrap_mode(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        forest = RandomForestClassifier(
+            n_estimators=10, bootstrap=False, random_state=0
+        ).fit(X_train, y_train)
+        assert forest.score(X_test, y_test) > 0.85
+
+    def test_feature_importances_sum_to_one(self, noisy_linear_data):
+        X_train, y_train, _, _ = noisy_linear_data
+        forest = RandomForestClassifier(n_estimators=10, random_state=0)
+        forest.fit(X_train, y_train)
+        importances = forest.feature_importances()
+        assert importances.sum() == pytest.approx(1.0)
+        assert np.all(importances >= 0.0)
+
+    def test_informative_feature_most_important(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(300, 5))
+        y = (X[:, 2] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert np.argmax(forest.feature_importances()) == 2
+
+    def test_depth_cap_propagates_to_trees(self, circles_data):
+        X_train, y_train, _, _ = circles_data
+        forest = RandomForestClassifier(
+            n_estimators=5, max_depth=3, random_state=0
+        ).fit(X_train, y_train)
+        assert all(tree.depth() <= 3 for tree in forest.estimators_)
+
+    def test_invalid_n_estimators(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(n_estimators=0).fit(X_train, y_train)
+
+
+class TestGradientBoosting:
+    def test_learns_nonlinear_concept(self, circles_data):
+        X_train, y_train, X_test, y_test = circles_data
+        model = GradientBoostingClassifier(
+            n_estimators=40, random_state=0
+        ).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.9
+
+    def test_more_rounds_reduce_training_loss(self, circles_data):
+        X_train, y_train, _, _ = circles_data
+        few = GradientBoostingClassifier(n_estimators=2, random_state=0)
+        many = GradientBoostingClassifier(n_estimators=40, random_state=0)
+        few.fit(X_train, y_train)
+        many.fit(X_train, y_train)
+        assert many.score(X_train, y_train) >= few.score(X_train, y_train)
+
+    def test_learning_rate_scales_contributions(self, circles_data):
+        X_train, y_train, X_test, _ = circles_data
+        slow = GradientBoostingClassifier(
+            n_estimators=5, learning_rate=0.01, random_state=0
+        ).fit(X_train, y_train)
+        fast = GradientBoostingClassifier(
+            n_estimators=5, learning_rate=1.0, random_state=0
+        ).fit(X_train, y_train)
+        slow_spread = np.ptp(slow.decision_function(X_test))
+        fast_spread = np.ptp(fast.decision_function(X_test))
+        assert fast_spread > slow_spread
+
+    def test_subsample_stochastic_boosting(self, circles_data):
+        X_train, y_train, X_test, y_test = circles_data
+        model = GradientBoostingClassifier(
+            n_estimators=30, subsample=0.5, random_state=0
+        ).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_initial_score_is_log_odds_of_prior(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.array([1] * 75 + [0] * 25)
+        model = GradientBoostingClassifier(n_estimators=1, random_state=0).fit(X, y)
+        assert model.initial_score_ == pytest.approx(np.log(3.0), rel=1e-6)
+
+    def test_invalid_parameters_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier(n_estimators=0).fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier(learning_rate=0.0).fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier(subsample=0.0).fit(X_train, y_train)
+
+
+class TestAdaBoost:
+    def test_stumps_combine_into_nonlinear_model(self, circles_data):
+        X_train, y_train, X_test, y_test = circles_data
+        model = AdaBoostClassifier(n_estimators=40, random_state=0).fit(X_train, y_train)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > stump.score(X_test, y_test)
+
+    def test_weights_are_positive(self, noisy_linear_data):
+        X_train, y_train, _, _ = noisy_linear_data
+        model = AdaBoostClassifier(n_estimators=10, random_state=0).fit(X_train, y_train)
+        assert all(alpha > 0 for alpha in model.estimator_weights_)
+        assert len(model.estimators_) == len(model.estimator_weights_)
+
+    def test_f_score_reasonable(self, noisy_linear_data):
+        X_train, y_train, X_test, y_test = noisy_linear_data
+        model = AdaBoostClassifier(n_estimators=20, random_state=0).fit(X_train, y_train)
+        assert f_score(y_test, model.predict(X_test)) > 0.6

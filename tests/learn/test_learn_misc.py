@@ -1,0 +1,81 @@
+"""Miscellaneous learn-library behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    CLASSIFIER_REGISTRY,
+    GridSearchCV,
+    LogisticRegression,
+    cross_val_score,
+    f_score,
+)
+from repro.learn.linear import LinearSVC
+from repro.learn.tree import DecisionTreeClassifier
+
+
+def test_sgd_minibatch_matches_lbfgs_direction(linear_data):
+    """Both solvers must find essentially the same separator."""
+    X_train, y_train, X_test, _ = linear_data
+    lbfgs = LogisticRegression(solver="lbfgs").fit(X_train, y_train)
+    sgd = LogisticRegression(solver="sgd", max_iter=60, random_state=0)
+    sgd.fit(X_train, y_train)
+    agreement = np.mean(lbfgs.predict(X_test) == sgd.predict(X_test))
+    assert agreement > 0.93
+
+
+def test_sgd_batching_invariant_to_sample_count():
+    """Tiny datasets (below one batch) still train correctly."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(10, 2))
+    y = (X[:, 0] > 0).astype(int)
+    model = LogisticRegression(solver="sgd", max_iter=50, random_state=0)
+    model.fit(X, y)
+    assert model.score(X, y) >= 0.8
+
+
+def test_svm_iterates_bounded_weights(noisy_linear_data):
+    """Pegasos projection keeps weights in the 1/sqrt(lambda) ball."""
+    X_train, y_train, _, _ = noisy_linear_data
+    model = LinearSVC(C=1000.0, max_iter=20, random_state=0)
+    model.fit(X_train, y_train)
+    lam = 1.0 / (1000.0 * X_train.shape[0])
+    assert np.linalg.norm(model.coef_) <= 1.0 / np.sqrt(lam) + 1e-6
+
+
+def test_cross_val_score_deterministic_with_seed(linear_data):
+    X_train, y_train, _, _ = linear_data
+    a = cross_val_score(
+        LogisticRegression(), X_train, y_train, cv=4, random_state=5
+    )
+    b = cross_val_score(
+        LogisticRegression(), X_train, y_train, cv=4, random_state=5
+    )
+    assert np.array_equal(a, b)
+
+
+def test_grid_search_custom_scoring(circles_data):
+    X_train, y_train, _, _ = circles_data
+
+    def inverted(y_true, y_pred):
+        return -f_score(y_true, y_pred)
+
+    search = GridSearchCV(
+        DecisionTreeClassifier(random_state=0),
+        {"max_depth": [1, 8]},
+        cv=3,
+        scoring=inverted,
+        random_state=0,
+    ).fit(X_train, y_train)
+    # With an inverted metric the *worst* depth wins.
+    assert search.best_params_["max_depth"] == 1
+
+
+@pytest.mark.parametrize("abbr", sorted(CLASSIFIER_REGISTRY))
+def test_registry_names_match_param_protocol(abbr):
+    cls = CLASSIFIER_REGISTRY[abbr]
+    instance = cls()
+    params = instance.get_params()
+    # Round-trip: constructing from get_params reproduces identical params.
+    clone_like = cls(**params)
+    assert clone_like.get_params() == params

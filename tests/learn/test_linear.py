@@ -1,0 +1,185 @@
+"""Behavioural tests for the linear classifier family."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learn.linear import (
+    AveragedPerceptron,
+    BayesPointMachine,
+    LinearDiscriminantAnalysis,
+    LinearSVC,
+    LogisticRegression,
+)
+from repro.learn.metrics import f_score
+
+
+class TestLogisticRegression:
+    def test_recovers_separating_direction(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 2))
+        y = (2.0 * X[:, 0] - 1.0 * X[:, 1] > 0).astype(int)
+        model = LogisticRegression(penalty="none", max_iter=500).fit(X, y)
+        direction = model.coef_ / np.linalg.norm(model.coef_)
+        target = np.array([2.0, -1.0]) / np.sqrt(5.0)
+        assert abs(direction @ target) > 0.97
+
+    def test_l2_shrinks_weights(self, noisy_linear_data):
+        X_train, y_train, _, _ = noisy_linear_data
+        weak = LogisticRegression(C=100.0).fit(X_train, y_train)
+        strong = LogisticRegression(C=0.001).fit(X_train, y_train)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_l1_sparsifies(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 10))
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression(
+            penalty="l1", solver="sgd", C=0.05, max_iter=60, random_state=0
+        ).fit(X, y)
+        # Noise weights collapse toward zero; the signal weight dominates.
+        small = np.sum(np.abs(model.coef_) < 1e-2)
+        assert small >= 8
+        assert np.argmax(np.abs(model.coef_)) == 0
+
+    def test_lbfgs_rejects_l1(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError, match="l1"):
+            LogisticRegression(penalty="l1", solver="lbfgs").fit(X_train, y_train)
+
+    def test_invalid_penalty_and_solver_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            LogisticRegression(penalty="l3").fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            LogisticRegression(solver="newton").fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            LogisticRegression(C=-1.0).fit(X_train, y_train)
+
+    def test_sgd_solver_learns(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = LogisticRegression(
+            solver="sgd", max_iter=40, random_state=0
+        ).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_predict_proba_monotone_in_score(self, linear_data):
+        X_train, y_train, X_test, _ = linear_data
+        model = LogisticRegression().fit(X_train, y_train)
+        scores = model.decision_function(X_test)
+        probabilities = model.predict_proba(X_test)[:, 1]
+        order = np.argsort(scores)
+        assert np.all(np.diff(probabilities[order]) >= -1e-12)
+
+    def test_no_intercept(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        model = LogisticRegression(fit_intercept=False).fit(X_train, y_train)
+        assert model.intercept_ == 0.0
+
+    def test_records_iterations(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        model = LogisticRegression().fit(X_train, y_train)
+        assert model.n_iter_ >= 1
+
+
+class TestLinearSVC:
+    def test_margin_classifier_learns(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = LinearSVC(random_state=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.9
+
+    def test_squared_hinge_loss_supported(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = LinearSVC(loss="squared_hinge", random_state=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_invalid_loss_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            LinearSVC(loss="logistic").fit(X_train, y_train)
+
+    def test_l1_penalty_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError, match="l2"):
+            LinearSVC(penalty="l1").fit(X_train, y_train)
+
+    def test_stronger_regularization_shrinks_weights(self, noisy_linear_data):
+        X_train, y_train, _, _ = noisy_linear_data
+        weak = LinearSVC(C=100.0, random_state=0).fit(X_train, y_train)
+        strong = LinearSVC(C=0.01, random_state=0).fit(X_train, y_train)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+
+class TestAveragedPerceptron:
+    def test_converges_on_separable_data(self):
+        # Strictly separable with margin: drop points near the hyperplane.
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(400, 3))
+        scores = X @ np.array([1.0, -1.0, 0.5])
+        keep = np.abs(scores) > 0.5
+        X, y = X[keep], (scores[keep] > 0).astype(int)
+        model = AveragedPerceptron(random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.97
+        assert model.mistakes_ == 0  # separable: last epoch is mistake-free
+
+    def test_averaging_beats_final_weights_on_noise(self, noisy_linear_data):
+        X_train, y_train, X_test, y_test = noisy_linear_data
+        averaged = AveragedPerceptron(max_iter=20, random_state=0)
+        averaged.fit(X_train, y_train)
+        assert f_score(y_test, averaged.predict(X_test)) > 0.6
+
+    def test_invalid_learning_rate_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            AveragedPerceptron(learning_rate=0.0).fit(X_train, y_train)
+
+    def test_no_shuffle_is_deterministic_without_seed(self, linear_data):
+        X_train, y_train, X_test, _ = linear_data
+        a = AveragedPerceptron(shuffle=False).fit(X_train, y_train).predict(X_test)
+        b = AveragedPerceptron(shuffle=False).fit(X_train, y_train).predict(X_test)
+        assert np.array_equal(a, b)
+
+
+class TestBayesPointMachine:
+    def test_learns_linear_concept(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = BayesPointMachine(n_members=5, random_state=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.9
+
+    def test_member_count_respected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        model = BayesPointMachine(n_members=4, random_state=0).fit(X_train, y_train)
+        assert model.member_weights_.shape[0] == 4
+
+    def test_invalid_config_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            BayesPointMachine(n_iter=0).fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            BayesPointMachine(n_members=0).fit(X_train, y_train)
+
+
+class TestLDA:
+    def test_solvers_agree(self, linear_data):
+        X_train, y_train, X_test, _ = linear_data
+        lsqr = LinearDiscriminantAnalysis(solver="lsqr").fit(X_train, y_train)
+        eigen = LinearDiscriminantAnalysis(solver="eigen").fit(X_train, y_train)
+        agreement = np.mean(lsqr.predict(X_test) == eigen.predict(X_test))
+        assert agreement > 0.97
+
+    def test_shrinkage_helps_when_features_outnumber_samples(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(30, 60))
+        y = (X[:, 0] > 0).astype(int)
+        model = LinearDiscriminantAnalysis(shrinkage=0.5).fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+
+    def test_invalid_shrinkage_rejected(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        with pytest.raises(ValidationError):
+            LinearDiscriminantAnalysis(shrinkage=2.0).fit(X_train, y_train)
+
+    def test_priors_shift_intercept(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        model = LinearDiscriminantAnalysis().fit(X_train, y_train)
+        assert model.priors_.sum() == pytest.approx(1.0)

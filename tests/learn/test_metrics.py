@@ -1,0 +1,122 @@
+"""Tests for classification metrics (the paper's Table 3 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learn.metrics import (
+    accuracy_score,
+    classification_summary,
+    confusion_binary,
+    f_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+
+Y_TRUE = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+Y_PRED = np.array([1, 1, 0, 0, 1, 0, 0, 0])  # tp=2 fn=2 fp=1 tn=3
+
+
+def test_confusion_counts():
+    assert confusion_binary(Y_TRUE, Y_PRED) == (2, 1, 2, 3)
+
+
+def test_accuracy():
+    assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(5 / 8)
+
+
+def test_precision():
+    assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+
+def test_recall():
+    assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(0.5)
+
+
+def test_f_score_is_harmonic_mean():
+    precision, recall = 2 / 3, 0.5
+    expected = 2 * precision * recall / (precision + recall)
+    assert f_score(Y_TRUE, Y_PRED) == pytest.approx(expected)
+
+
+def test_perfect_prediction_scores_one():
+    assert f_score(Y_TRUE, Y_TRUE) == 1.0
+    assert accuracy_score(Y_TRUE, Y_TRUE) == 1.0
+    assert precision_score(Y_TRUE, Y_TRUE) == 1.0
+    assert recall_score(Y_TRUE, Y_TRUE) == 1.0
+
+
+def test_all_negative_prediction_gives_zero_f():
+    prediction = np.zeros_like(Y_TRUE)
+    assert precision_score(Y_TRUE, prediction) == 0.0
+    assert recall_score(Y_TRUE, prediction) == 0.0
+    assert f_score(Y_TRUE, prediction) == 0.0
+
+
+def test_pos_label_override():
+    # Treat 0 as the positive class.
+    assert recall_score(Y_TRUE, Y_PRED, pos_label=0) == pytest.approx(3 / 4)
+
+
+def test_string_labels_supported():
+    y_true = np.array(["spam", "ham", "spam", "ham"])
+    y_pred = np.array(["spam", "spam", "spam", "ham"])
+    assert accuracy_score(y_true, y_pred) == pytest.approx(0.75)
+    assert recall_score(y_true, y_pred, pos_label="spam") == 1.0
+
+
+def test_f_beta_weighting():
+    # beta > 1 weighs recall more; here recall < precision so F2 < F1.
+    assert f_score(Y_TRUE, Y_PRED, beta=2.0) < f_score(Y_TRUE, Y_PRED, beta=1.0)
+
+
+def test_f_score_rejects_nonpositive_beta():
+    with pytest.raises(ValidationError):
+        f_score(Y_TRUE, Y_PRED, beta=0.0)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValidationError):
+        accuracy_score([0, 1], [0, 1, 1])
+
+
+def test_empty_labels_rejected():
+    with pytest.raises(ValidationError):
+        accuracy_score([], [])
+
+
+def test_summary_matches_individual_metrics():
+    summary = classification_summary(Y_TRUE, Y_PRED)
+    assert summary.f_score == pytest.approx(f_score(Y_TRUE, Y_PRED))
+    assert summary.accuracy == pytest.approx(accuracy_score(Y_TRUE, Y_PRED))
+    assert summary.precision == pytest.approx(precision_score(Y_TRUE, Y_PRED))
+    assert summary.recall == pytest.approx(recall_score(Y_TRUE, Y_PRED))
+
+
+def test_summary_as_dict_keys():
+    summary = classification_summary(Y_TRUE, Y_PRED)
+    assert set(summary.as_dict()) == {"f_score", "accuracy", "precision", "recall"}
+
+
+def test_roc_auc_perfect_separation():
+    y = np.array([0, 0, 1, 1])
+    scores = np.array([0.1, 0.2, 0.8, 0.9])
+    assert roc_auc_score(y, scores) == 1.0
+
+
+def test_roc_auc_random_scores_half():
+    y = np.array([0, 1, 0, 1])
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    assert roc_auc_score(y, scores) == pytest.approx(0.5)
+
+
+def test_roc_auc_inverted_scores_zero():
+    y = np.array([0, 0, 1, 1])
+    scores = np.array([0.9, 0.8, 0.2, 0.1])
+    assert roc_auc_score(y, scores) == 0.0
+
+
+def test_roc_auc_requires_both_classes():
+    with pytest.raises(ValidationError):
+        roc_auc_score(np.array([1, 1]), np.array([0.1, 0.9]))

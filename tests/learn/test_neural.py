@@ -1,0 +1,98 @@
+"""Tests for the MLP classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learn.neural import MLPClassifier
+
+
+def test_learns_linear_concept(linear_data):
+    X_train, y_train, X_test, y_test = linear_data
+    model = MLPClassifier(
+        hidden_layer_sizes=(16,), max_iter=100, random_state=0
+    ).fit(X_train, y_train)
+    assert model.score(X_test, y_test) > 0.85
+
+
+def test_learns_circles(circles_data):
+    X_train, y_train, X_test, y_test = circles_data
+    model = MLPClassifier(
+        hidden_layer_sizes=(32,), max_iter=300, random_state=0
+    ).fit(X_train, y_train)
+    assert model.score(X_test, y_test) > 0.85
+
+
+def test_xor_requires_hidden_layer():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, size=(300, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    model = MLPClassifier(
+        hidden_layer_sizes=(16,), max_iter=300, random_state=0
+    ).fit(X, y)
+    assert model.score(X, y) > 0.9
+
+
+@pytest.mark.parametrize("activation", ["relu", "tanh", "logistic"])
+def test_all_activations_train(activation, linear_data):
+    X_train, y_train, X_test, y_test = linear_data
+    model = MLPClassifier(
+        activation=activation, hidden_layer_sizes=(8,), max_iter=80, random_state=0
+    ).fit(X_train, y_train)
+    assert model.score(X_test, y_test) > 0.8
+
+
+@pytest.mark.parametrize("solver", ["adam", "sgd"])
+def test_both_solvers_train(solver, linear_data):
+    X_train, y_train, X_test, y_test = linear_data
+    model = MLPClassifier(
+        solver=solver,
+        hidden_layer_sizes=(8,),
+        max_iter=120,
+        learning_rate_init=0.01 if solver == "sgd" else 1e-3,
+        random_state=0,
+    ).fit(X_train, y_train)
+    assert model.score(X_test, y_test) > 0.75
+
+
+def test_multiple_hidden_layers(linear_data):
+    X_train, y_train, X_test, y_test = linear_data
+    model = MLPClassifier(
+        hidden_layer_sizes=(16, 8), max_iter=100, random_state=0
+    ).fit(X_train, y_train)
+    assert model.score(X_test, y_test) > 0.8
+    assert len(model.weights_) == 3  # two hidden + output
+
+
+def test_l2_alpha_shrinks_weights(noisy_linear_data):
+    X_train, y_train, _, _ = noisy_linear_data
+    weak = MLPClassifier(alpha=0.0, max_iter=60, random_state=0).fit(X_train, y_train)
+    strong = MLPClassifier(alpha=1.0, max_iter=60, random_state=0).fit(X_train, y_train)
+    weak_norm = sum(float(np.abs(w).sum()) for w in weak.weights_)
+    strong_norm = sum(float(np.abs(w).sum()) for w in strong.weights_)
+    assert strong_norm < weak_norm
+
+
+def test_early_stopping_records_iterations(linear_data):
+    X_train, y_train, _, _ = linear_data
+    model = MLPClassifier(
+        max_iter=500, tol=1e-2, n_iter_no_change=2, random_state=0
+    ).fit(X_train, y_train)
+    assert model.n_iter_ < 500
+
+
+def test_invalid_configuration_rejected(linear_data):
+    X_train, y_train, _, _ = linear_data
+    with pytest.raises(ValidationError):
+        MLPClassifier(activation="swish").fit(X_train, y_train)
+    with pytest.raises(ValidationError):
+        MLPClassifier(solver="rmsprop").fit(X_train, y_train)
+    with pytest.raises(ValidationError):
+        MLPClassifier(alpha=-1.0).fit(X_train, y_train)
+
+
+def test_loss_recorded(linear_data):
+    X_train, y_train, _, _ = linear_data
+    model = MLPClassifier(max_iter=30, random_state=0).fit(X_train, y_train)
+    assert np.isfinite(model.loss_)
+    assert model.loss_ >= 0.0

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.learn.metrics import (
+    accuracy_score,
+    classification_summary,
+    f_score,
+    precision_score,
+    recall_score,
+)
+from repro.learn.model_selection import train_test_split
+from repro.learn.preprocessing import (
+    L2Normalizer,
+    MaxAbsScaler,
+    MedianImputer,
+    MinMaxScaler,
+    StandardScaler,
+)
+from repro.learn.tree import DecisionTreeClassifier
+from repro.analysis.subsets import expected_max_of_subset
+
+# -- label strategies ------------------------------------------------------
+
+labels = st.lists(st.integers(0, 1), min_size=2, max_size=60).filter(
+    lambda values: len(set(values)) == 2
+)
+
+
+@st.composite
+def label_pairs(draw):
+    y_true = draw(labels)
+    y_pred = draw(
+        st.lists(st.integers(0, 1), min_size=len(y_true), max_size=len(y_true))
+    )
+    return np.array(y_true), np.array(y_pred)
+
+
+@given(label_pairs())
+def test_metrics_bounded_in_unit_interval(pair):
+    y_true, y_pred = pair
+    for metric in (accuracy_score, precision_score, recall_score, f_score):
+        value = metric(y_true, y_pred)
+        assert 0.0 <= value <= 1.0
+
+
+@given(label_pairs())
+def test_f_score_between_min_and_max_of_precision_recall(pair):
+    y_true, y_pred = pair
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    f1 = f_score(y_true, y_pred)
+    assert min(precision, recall) - 1e-12 <= f1 <= max(precision, recall) + 1e-12
+
+
+@given(labels)
+def test_perfect_prediction_always_scores_one(values):
+    y = np.array(values)
+    summary = classification_summary(y, y)
+    assert summary.f_score == 1.0
+    assert summary.accuracy == 1.0
+
+
+@given(label_pairs())
+def test_accuracy_is_symmetric_under_label_swap(pair):
+    y_true, y_pred = pair
+    swapped_true, swapped_pred = 1 - y_true, 1 - y_pred
+    assert accuracy_score(y_true, y_pred) == accuracy_score(swapped_true, swapped_pred)
+
+
+# -- transformer properties -------------------------------------------------
+
+matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 25), st.integers(1, 6)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+)
+
+
+@given(matrices)
+@settings(max_examples=50)
+def test_standard_scaler_output_centered(X):
+    Z = StandardScaler().fit_transform(X)
+    assert np.all(np.isfinite(Z))
+    assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-6)
+
+
+@given(matrices)
+@settings(max_examples=50)
+def test_minmax_scaler_output_in_unit_interval(X):
+    Z = MinMaxScaler().fit_transform(X)
+    assert Z.min() >= -1e-9
+    assert Z.max() <= 1.0 + 1e-9
+
+
+@given(matrices)
+@settings(max_examples=50)
+def test_maxabs_scaler_bounded_by_one(X):
+    Z = MaxAbsScaler().fit_transform(X)
+    assert np.abs(Z).max() <= 1.0 + 1e-9
+
+
+@given(matrices)
+@settings(max_examples=50)
+def test_l2_normalizer_rows_at_most_unit(X):
+    Z = L2Normalizer().fit_transform(X)
+    norms = np.linalg.norm(Z, axis=1)
+    assert np.all(norms <= 1.0 + 1e-9)
+
+
+@given(matrices, st.floats(0.0, 0.5))
+@settings(max_examples=40)
+def test_imputer_removes_all_nans(X, rate):
+    rng = np.random.default_rng(0)
+    X = X.copy()
+    X[rng.random(X.shape) < rate] = np.nan
+    Z = MedianImputer().fit_transform(X)
+    assert not np.isnan(Z).any()
+    # Observed cells are untouched.
+    observed = ~np.isnan(X)
+    assert np.array_equal(Z[observed], X[observed])
+
+
+# -- split properties --------------------------------------------------------
+
+
+@given(st.integers(10, 80), st.integers(0, 10_000))
+@settings(max_examples=40)
+def test_split_partitions_indices(n, seed):
+    rng = np.random.default_rng(seed)
+    X = np.arange(n, dtype=float).reshape(-1, 1)
+    y = rng.integers(0, 2, size=n)
+    if len(np.unique(y)) < 2:
+        y[0] = 1 - y[0]
+    X_train, X_test, y_train, y_test = train_test_split(X, y, random_state=seed)
+    assert len(X_train) + len(X_test) == n
+    assert sorted(np.concatenate([X_train, X_test]).ravel().tolist()) == list(range(n))
+
+
+# -- tree properties ---------------------------------------------------------
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(6, 40), st.integers(1, 4)),
+        elements=st.floats(-100, 100, allow_nan=False, width=64),
+    ),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_tree_training_accuracy_at_least_majority(X, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=X.shape[0])
+    if len(np.unique(y)) < 2:
+        y[0] = 1 - y[0]
+    model = DecisionTreeClassifier(random_state=0).fit(X, y)
+    majority = max(np.mean(y), 1 - np.mean(y))
+    assert model.score(X, y) >= majority - 1e-12
+
+
+# -- subset expectation properties -------------------------------------------
+
+
+@given(st.lists(st.floats(0.0, 1.0, width=64), min_size=1, max_size=12))
+def test_expected_max_monotone_in_k(scores):
+    values = [
+        expected_max_of_subset(scores, k) for k in range(1, len(scores) + 1)
+    ]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    assert values[0] == np.mean(scores) or len(scores) == 1 or abs(
+        values[0] - np.mean(scores)
+    ) < 1e-9
+    assert abs(values[-1] - max(scores)) < 1e-9

@@ -1,0 +1,153 @@
+"""Additional property-based tests: encoders, grids, ensembles, metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controls import Configuration
+from repro.core.results import ExperimentResult, ResultStore
+from repro.learn.metrics import MetricSummary, roc_auc_score
+from repro.learn.model_selection import ParameterGrid, StratifiedKFold
+from repro.learn.preprocessing import OrdinalEncoder, QuantileBinningTransform
+
+# -- ordinal encoder ---------------------------------------------------------
+
+category_columns = st.lists(
+    st.sampled_from(["red", "green", "blue", "cyan", "mauve"]),
+    min_size=3, max_size=40,
+)
+
+
+@given(category_columns)
+def test_encoder_codes_are_dense_one_based(values):
+    X = np.array(values, dtype=object).reshape(-1, 1)
+    Z = OrdinalEncoder().fit_transform(X)
+    codes = set(np.unique(Z))
+    n = len(set(values))
+    assert codes == set(range(1, n + 1))
+
+
+@given(category_columns)
+def test_encoder_is_consistent_per_category(values):
+    X = np.array(values, dtype=object).reshape(-1, 1)
+    Z = OrdinalEncoder().fit_transform(X).ravel()
+    mapping = {}
+    for value, code in zip(values, Z):
+        assert mapping.setdefault(value, code) == code
+
+
+# -- quantile binning ---------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False, width=64),
+             min_size=4, max_size=60),
+    st.integers(2, 12),
+)
+@settings(max_examples=50)
+def test_binning_one_hot_per_feature(values, n_bins):
+    X = np.array(values).reshape(-1, 1)
+    Z = QuantileBinningTransform(n_bins=n_bins).fit_transform(X)
+    assert np.allclose(Z.sum(axis=1), 1.0)
+    assert Z.shape[0] == X.shape[0]
+
+
+# -- parameter grid -----------------------------------------------------------
+
+grids = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.lists(st.integers(0, 5), min_size=1, max_size=4, unique=True),
+    min_size=0, max_size=4,
+)
+
+
+@given(grids)
+def test_parameter_grid_length_matches_iteration(grid):
+    pg = ParameterGrid(grid)
+    combos = list(pg)
+    assert len(combos) == len(pg)
+    # All combos unique.
+    seen = {tuple(sorted(c.items())) for c in combos}
+    assert len(seen) == len(combos)
+
+
+@given(grids)
+def test_parameter_grid_every_combo_within_domain(grid):
+    for combo in ParameterGrid(grid):
+        assert set(combo) == set(grid)
+        for name, value in combo.items():
+            assert value in grid[name]
+
+
+# -- stratified k-fold ---------------------------------------------------------
+
+
+@given(
+    st.integers(12, 60),
+    st.floats(0.2, 0.8),
+    st.integers(2, 4),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=40)
+def test_stratified_kfold_partition_and_balance(n, positive_rate, k, seed):
+    rng = np.random.default_rng(seed)
+    y = (rng.random(n) < positive_rate).astype(int)
+    y[:2] = [0, 1]  # guarantee both classes
+    X = np.zeros((n, 1))
+    seen = []
+    for train, test in StratifiedKFold(n_splits=k, random_state=seed).split(X, y):
+        assert len(np.intersect1d(train, test)) == 0
+        seen.extend(test.tolist())
+    assert sorted(seen) == list(range(n))
+
+
+# -- ROC AUC -------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 1),
+                       st.floats(0, 1, allow_nan=False, width=64)),
+             min_size=4, max_size=60)
+    .filter(lambda pairs: len({label for label, _ in pairs}) == 2)
+)
+def test_roc_auc_complement_symmetry(pairs):
+    y = np.array([label for label, _ in pairs])
+    scores = np.array([score for _, score in pairs])
+    auc = roc_auc_score(y, scores)
+    flipped = roc_auc_score(y, -scores)
+    assert 0.0 <= auc <= 1.0
+    assert auc + flipped == np.float64(1.0) or abs(auc + flipped - 1.0) < 1e-9
+
+
+# -- result store --------------------------------------------------------------
+
+
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["p1", "p2"]),
+        st.sampled_from(["d1", "d2", "d3"]),
+        st.floats(0, 1, allow_nan=False, width=64),
+        st.booleans(),
+    ),
+    min_size=0, max_size=30,
+))
+def test_result_store_mean_is_average_of_per_dataset_maxima(rows):
+    store = ResultStore()
+    for i, (platform, dataset, f, ok) in enumerate(rows):
+        store.add(ExperimentResult(
+            platform=platform,
+            dataset=dataset,
+            configuration=Configuration.make(classifier="LR", params={"i": i}),
+            metrics=MetricSummary(f, f, f, f),
+            status="ok" if ok else "failed",
+        ))
+    for platform in store.platforms():
+        sub = store.for_platform(platform)
+        expected = {}
+        for p, d, f, ok in rows:
+            if p == platform and ok:
+                expected[d] = max(expected.get(d, -1.0), f)
+        if expected:
+            assert sub.mean_score() == np.mean(list(expected.values()))
+        else:
+            assert np.isnan(sub.mean_score())

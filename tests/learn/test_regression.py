@@ -1,0 +1,149 @@
+"""Tests for the regression extension (the paper's other universal task)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learn.regression import (
+    DecisionTreeRegressor,
+    KNeighborsRegressor,
+    LinearRegression,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+)
+
+
+@pytest.fixture(scope="module")
+def linear_target():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 4))
+    w = np.array([2.0, -1.0, 0.5, 0.0])
+    y = X @ w + 3.0 + 0.1 * rng.normal(size=300)
+    return X[:220], y[:220], X[220:], y[220:]
+
+
+@pytest.fixture(scope="module")
+def step_target():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-2, 2, size=(300, 2))
+    y = np.where(X[:, 0] > 0, 5.0, -5.0) + np.where(X[:, 1] > 1, 2.0, 0.0)
+    y = y + 0.1 * rng.normal(size=300)
+    return X[:220], y[:220], X[220:], y[220:]
+
+
+class TestMetrics:
+    def test_mse_mae_basics(self):
+        y = np.array([1.0, 2.0, 3.0])
+        p = np.array([1.0, 2.0, 5.0])
+        assert mean_squared_error(y, p) == pytest.approx(4.0 / 3)
+        assert mean_absolute_error(y, p) == pytest.approx(2.0 / 3)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(4, y.mean())) == 0.0
+
+    def test_r2_constant_target(self):
+        y = np.full(5, 2.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1.0) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            r2_score([], [])
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_target):
+        X_train, y_train, X_test, y_test = linear_target
+        model = LinearRegression().fit(X_train, y_train)
+        assert model.coef_ == pytest.approx([2.0, -1.0, 0.5, 0.0], abs=0.05)
+        assert model.intercept_ == pytest.approx(3.0, abs=0.05)
+        assert model.score(X_test, y_test) > 0.99
+
+    def test_ridge_shrinks(self, linear_target):
+        X_train, y_train, _, _ = linear_target
+        ols = LinearRegression(alpha=0.0).fit(X_train, y_train)
+        ridge = LinearRegression(alpha=1000.0).fit(X_train, y_train)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+    def test_no_intercept(self, linear_target):
+        X_train, y_train, _, _ = linear_target
+        model = LinearRegression(fit_intercept=False).fit(X_train, y_train)
+        assert model.intercept_ == 0.0
+
+    def test_negative_alpha_rejected(self, linear_target):
+        X_train, y_train, _, _ = linear_target
+        with pytest.raises(ValidationError):
+            LinearRegression(alpha=-1.0).fit(X_train, y_train)
+
+    def test_underdetermined_system_solved(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(5, 20))
+        y = rng.normal(size=5)
+        model = LinearRegression().fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+
+
+class TestTreeRegressor:
+    def test_fits_step_function(self, step_target):
+        X_train, y_train, X_test, y_test = step_target
+        model = DecisionTreeRegressor(max_depth=4).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.95
+
+    def test_beats_linear_on_steps(self, step_target):
+        X_train, y_train, X_test, y_test = step_target
+        tree = DecisionTreeRegressor(max_depth=4).fit(X_train, y_train)
+        linear = LinearRegression().fit(X_train, y_train)
+        assert tree.score(X_test, y_test) > linear.score(X_test, y_test)
+
+    def test_depth_zero_equivalent_returns_mean(self, step_target):
+        X_train, y_train, _, _ = step_target
+        model = DecisionTreeRegressor(max_depth=1, min_samples_leaf=200)
+        model.fit(X_train, y_train)
+        predictions = model.predict(X_train)
+        assert np.allclose(predictions, y_train.mean())
+
+    def test_min_samples_leaf_validated(self, step_target):
+        X_train, y_train, _, _ = step_target
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor(min_samples_leaf=0).fit(X_train, y_train)
+
+    def test_feature_subsampling_deterministic_with_seed(self, step_target):
+        X_train, y_train, X_test, _ = step_target
+        a = DecisionTreeRegressor(max_features="sqrt", random_state=0)
+        b = DecisionTreeRegressor(max_features="sqrt", random_state=0)
+        pa = a.fit(X_train, y_train).predict(X_test)
+        pb = b.fit(X_train, y_train).predict(X_test)
+        assert np.array_equal(pa, pb)
+
+
+class TestKNNRegressor:
+    def test_interpolates_smooth_function(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 2 * np.pi, size=(400, 1))
+        y = np.sin(X[:, 0])
+        model = KNeighborsRegressor(n_neighbors=5).fit(X[:300], y[:300])
+        assert model.score(X[300:], y[300:]) > 0.95
+
+    def test_one_neighbor_memorizes(self, step_target):
+        X_train, y_train, _, _ = step_target
+        model = KNeighborsRegressor(n_neighbors=1).fit(X_train, y_train)
+        assert model.score(X_train, y_train) == pytest.approx(1.0)
+
+    def test_distance_weighting(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array([1.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        near_zero = model.predict(np.array([[0.1]]))[0]
+        assert near_zero < 10.0  # dominated by the close neighbor
+
+    def test_invalid_weights_rejected(self, step_target):
+        X_train, y_train, _, _ = step_target
+        with pytest.raises(ValidationError):
+            KNeighborsRegressor(weights="gaussian").fit(X_train, y_train)

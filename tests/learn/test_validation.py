@@ -1,0 +1,107 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learn.validation import (
+    check_array,
+    check_binary_labels,
+    check_random_state,
+    check_X_y,
+    column_or_1d,
+)
+
+
+def test_check_array_converts_lists():
+    result = check_array([[1, 2], [3, 4]])
+    assert result.dtype == np.float64
+    assert result.shape == (2, 2)
+
+
+def test_check_array_promotes_1d_to_column():
+    assert check_array([1.0, 2.0, 3.0]).shape == (3, 1)
+
+
+def test_check_array_rejects_3d():
+    with pytest.raises(ValidationError, match="2-D"):
+        check_array(np.zeros((2, 2, 2)))
+
+
+def test_check_array_rejects_nan_by_default():
+    with pytest.raises(ValidationError, match="NaN"):
+        check_array([[1.0, np.nan]])
+
+
+def test_check_array_allows_nan_when_requested():
+    result = check_array([[1.0, np.nan]], allow_nan=True)
+    assert np.isnan(result[0, 1])
+
+
+def test_check_array_rejects_infinity():
+    with pytest.raises(ValidationError):
+        check_array([[np.inf, 1.0]])
+
+
+def test_check_array_rejects_zero_features():
+    with pytest.raises(ValidationError, match="0 features"):
+        check_array(np.empty((3, 0)))
+
+
+def test_check_array_min_samples():
+    with pytest.raises(ValidationError, match="at least 5"):
+        check_array([[1.0], [2.0]], min_samples=5)
+
+
+def test_check_array_rejects_strings():
+    with pytest.raises(ValidationError, match="could not convert"):
+        check_array([["a", "b"]])
+
+
+def test_column_or_1d_flattens_column_vector():
+    assert column_or_1d(np.array([[1], [2]])).shape == (2,)
+
+
+def test_column_or_1d_rejects_matrix():
+    with pytest.raises(ValidationError, match="1-D"):
+        column_or_1d(np.zeros((2, 2)))
+
+
+def test_check_X_y_rejects_length_mismatch():
+    with pytest.raises(ValidationError, match="samples"):
+        check_X_y([[1.0], [2.0]], [0, 1, 0])
+
+
+def test_check_binary_labels_returns_sorted_classes():
+    classes = check_binary_labels(np.array([1, 0, 1, 0]))
+    assert classes.tolist() == [0, 1]
+
+
+def test_check_binary_labels_rejects_single_class():
+    with pytest.raises(ValidationError, match="2 classes"):
+        check_binary_labels(np.array([1, 1, 1]))
+
+
+def test_check_binary_labels_rejects_three_classes():
+    with pytest.raises(ValidationError, match="2 classes"):
+        check_binary_labels(np.array([0, 1, 2]))
+
+
+def test_check_random_state_accepts_int_deterministically():
+    a = check_random_state(42).random(5)
+    b = check_random_state(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_check_random_state_passes_generator_through():
+    generator = np.random.default_rng(0)
+    assert check_random_state(generator) is generator
+
+
+def test_check_random_state_none_gives_generator():
+    assert isinstance(check_random_state(None), np.random.Generator)
+
+
+def test_check_random_state_rejects_strings():
+    with pytest.raises(ValidationError, match="random_state"):
+        check_random_state("seed")

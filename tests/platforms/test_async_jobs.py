@@ -1,0 +1,90 @@
+"""Tests for the asynchronous job mode of the platform service API."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import JobFailedError
+from repro.platforms import Google, Microsoft
+from repro.platforms.base import JobState
+
+
+@pytest.fixture()
+def data(linear_data):
+    X_train, y_train, X_test, _ = linear_data
+    return X_train, y_train, X_test
+
+
+def test_async_create_leaves_job_queued(data):
+    X, y, _ = data
+    platform = Google(synchronous=False)
+    dataset_id = platform.upload_dataset(X, y)
+    model_id = platform.create_model(dataset_id)
+    assert platform.get_model(model_id).state is JobState.QUEUED
+    assert platform.pending_jobs() == [model_id]
+
+
+def test_queued_model_cannot_predict(data):
+    X, y, X_test = data
+    platform = Google(synchronous=False)
+    dataset_id = platform.upload_dataset(X, y)
+    model_id = platform.create_model(dataset_id)
+    with pytest.raises(JobFailedError, match="not ready"):
+        platform.batch_predict(model_id, X_test)
+
+
+def test_process_one_job_fifo(data):
+    X, y, _ = data
+    platform = Microsoft(synchronous=False)
+    dataset_id = platform.upload_dataset(X, y)
+    first = platform.create_model(dataset_id, classifier="LR")
+    second = platform.create_model(dataset_id, classifier="SVM")
+    assert platform.process_one_job() == first
+    assert platform.get_model(first).state is JobState.COMPLETED
+    assert platform.get_model(second).state is JobState.QUEUED
+    assert platform.process_one_job() == second
+
+
+def test_process_empty_queue_returns_none():
+    assert Google(synchronous=False).process_one_job() is None
+
+
+def test_await_model_drains_queue_up_to_job(data):
+    X, y, X_test = data
+    platform = Microsoft(synchronous=False)
+    dataset_id = platform.upload_dataset(X, y)
+    first = platform.create_model(dataset_id, classifier="LR")
+    second = platform.create_model(dataset_id, classifier="AP")
+    handle = platform.await_model(second)
+    assert handle.state is JobState.COMPLETED
+    assert platform.get_model(first).state is JobState.COMPLETED
+    predictions = platform.batch_predict(second, X_test)
+    assert len(predictions) == len(X_test)
+
+
+def test_deleting_dataset_fails_queued_job(data):
+    X, y, _ = data
+    platform = Google(synchronous=False)
+    dataset_id = platform.upload_dataset(X, y)
+    model_id = platform.create_model(dataset_id)
+    platform.delete_dataset(dataset_id)
+    platform.process_one_job()
+    handle = platform.get_model(model_id)
+    assert handle.state is JobState.FAILED
+    assert "deleted" in handle.failure_reason
+
+
+def test_async_and_sync_produce_identical_models(data):
+    X, y, X_test = data
+    sync = Microsoft(random_state=3, synchronous=True)
+    ds_sync = sync.upload_dataset(X, y)
+    model_sync = sync.create_model(ds_sync, classifier="RF")
+
+    adeferred = Microsoft(random_state=3, synchronous=False)
+    ds_async = adeferred.upload_dataset(X, y)
+    model_async = adeferred.create_model(ds_async, classifier="RF")
+    adeferred.await_model(model_async)
+
+    assert np.array_equal(
+        sync.batch_predict(model_sync, X_test),
+        adeferred.batch_predict(model_async, X_test),
+    )

@@ -1,0 +1,97 @@
+"""Tests for the black-box server-side classifier auto-selection."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_circles, make_classification
+from repro.learn.linear import LogisticRegression
+from repro.learn.neighbors import KNeighborsClassifier
+from repro.learn.tree import DecisionTreeClassifier
+from repro.platforms.autoselect import AutoClassifierSelector
+
+
+def make_selector(**overrides):
+    defaults = dict(
+        linear_candidate=LogisticRegression(),
+        nonlinear_candidate=DecisionTreeClassifier(max_depth=6, random_state=0),
+        probe_size=300,
+        n_folds=3,
+        margin=0.01,
+        random_state=0,
+    )
+    defaults.update(overrides)
+    return AutoClassifierSelector(**defaults)
+
+
+def test_picks_nonlinear_on_circles():
+    X, y = make_circles(n_samples=400, noise=0.08, random_state=0)
+    winner, outcome = make_selector().select(X, y)
+    assert outcome.chosen_family == "nonlinear"
+    assert isinstance(winner, DecisionTreeClassifier)
+    assert outcome.nonlinear_score > outcome.linear_score
+
+
+def test_picks_linear_on_noisy_linear_data():
+    X, y = make_classification(
+        n_samples=400, n_features=2, class_sep=1.5, flip_y=0.1, random_state=0
+    )
+    _, outcome = make_selector().select(X, y)
+    assert outcome.chosen_family == "linear"
+
+
+def test_margin_biases_toward_linear():
+    # With an enormous margin the non-linear candidate can never win.
+    X, y = make_circles(n_samples=300, noise=0.05, random_state=1)
+    _, outcome = make_selector(margin=10.0).select(X, y)
+    assert outcome.chosen_family == "linear"
+
+
+def test_probe_subsampling_bounded():
+    X, y = make_classification(n_samples=5000, class_sep=2.0, random_state=2)
+    _, outcome = make_selector(probe_size=200).select(X, y)
+    # Stratified probe stays near the requested size.
+    assert outcome.n_probe_samples <= 220
+
+
+def test_small_dataset_uses_everything():
+    X, y = make_classification(n_samples=60, class_sep=2.0, random_state=3)
+    _, outcome = make_selector(probe_size=500).select(X, y)
+    assert outcome.n_probe_samples == 60
+
+
+def test_winner_is_unfitted_clone():
+    X, y = make_circles(n_samples=200, noise=0.05, random_state=4)
+    winner, _ = make_selector().select(X, y)
+    assert not hasattr(winner, "tree_")
+    assert not hasattr(winner, "coef_")
+
+
+def test_deterministic_given_seed():
+    X, y = make_circles(n_samples=300, noise=0.2, random_state=5)
+    _, outcome_a = make_selector(random_state=9).select(X, y)
+    _, outcome_b = make_selector(random_state=9).select(X, y)
+    assert outcome_a.chosen_family == outcome_b.chosen_family
+    assert outcome_a.linear_score == pytest.approx(outcome_b.linear_score)
+
+
+def test_works_with_knn_nonlinear_candidate():
+    X, y = make_circles(n_samples=300, noise=0.05, random_state=6)
+    selector = make_selector(
+        nonlinear_candidate=KNeighborsClassifier(n_neighbors=7)
+    )
+    _, outcome = selector.select(X, y)
+    assert outcome.chosen_family == "nonlinear"
+
+
+def test_selection_is_fallible_on_tiny_noisy_probes():
+    # §6: "their mechanisms occasionally err". A coarse probe on noisy,
+    # weakly non-linear data sometimes picks the wrong family; across many
+    # seeds at least one decision differs from the large-probe consensus.
+    X, y = make_circles(n_samples=600, noise=0.35, random_state=7)
+    decisions = set()
+    for seed in range(12):
+        _, outcome = make_selector(
+            probe_size=40, n_folds=2, random_state=seed
+        ).select(X, y)
+        decisions.add(outcome.chosen_family)
+    assert len(decisions) == 2  # both families chosen across seeds

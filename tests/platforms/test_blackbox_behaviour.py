@@ -1,0 +1,82 @@
+"""Black-box behaviour across the corpus: consistency and plausibility."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, ExperimentRunner
+from repro.datasets import load_corpus, load_dataset
+from repro.platforms import ABM, Google
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(split_seed=11)
+
+
+def selections(platform_cls, datasets, runner):
+    out = {}
+    for dataset in datasets:
+        platform = platform_cls(random_state=0)
+        split = runner.split(dataset)
+        ds = platform.upload_dataset(split.X_train, split.y_train)
+        model = platform.create_model(ds)
+        out[dataset.name] = platform.get_model(model).metadata["selection"]
+    return out
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus(max_datasets=8, size_cap=200, feature_cap=8,
+                       random_state=5)
+
+
+@pytest.mark.parametrize("platform_cls", [Google, ABM])
+def test_blackbox_uses_both_families_across_corpus(platform_cls, corpus, runner):
+    datasets = corpus + [
+        load_dataset("synthetic/circle", size_cap=200),
+        load_dataset("synthetic/linear", size_cap=200),
+    ]
+    chosen = {
+        s.chosen_family for s in selections(platform_cls, datasets, runner).values()
+    }
+    assert chosen == {"linear", "nonlinear"}
+
+
+@pytest.mark.parametrize("platform_cls", [Google, ABM])
+def test_selection_scores_recorded(platform_cls, corpus, runner):
+    for outcome in selections(platform_cls, corpus[:3], runner).values():
+        assert 0.0 <= outcome.linear_score <= 1.0
+        assert 0.0 <= outcome.nonlinear_score <= 1.0
+        assert outcome.n_probe_samples > 0
+
+
+def test_blackbox_selection_reproducible(runner, corpus):
+    dataset = corpus[0]
+    a = selections(Google, [dataset], runner)[dataset.name]
+    b = selections(Google, [dataset], runner)[dataset.name]
+    assert a.chosen_family == b.chosen_family
+    assert a.linear_score == pytest.approx(b.linear_score)
+
+
+def test_google_and_abm_can_disagree(runner):
+    # §6.2: the two black boxes disagreed on ~23% of datasets.  Their
+    # probes differ (candidate families, probe sizes, margins), so across
+    # a noisy-dataset batch at least one disagreement should surface.
+    datasets = [
+        load_dataset(name, size_cap=200) for name in (
+            "synthetic/circles_noisy", "synthetic/moons_hard",
+            "synthetic/linear_overlap", "synthetic/xor",
+            "synthetic/linear_imbalanced", "synthetic/gauss_quantiles",
+        )
+    ]
+    google = {
+        name: s.chosen_family
+        for name, s in selections(Google, datasets, runner).items()
+    }
+    abm = {
+        name: s.chosen_family
+        for name, s in selections(ABM, datasets, runner).items()
+    }
+    agreements = [google[name] == abm[name] for name in google]
+    assert any(agreements)           # mostly similar policies...
+    assert not all(agreements)       # ...but not identical (paper §6.2)

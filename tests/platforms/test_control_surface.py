@@ -1,0 +1,145 @@
+"""Verification of Table 1 / Table 2: each platform's control surface."""
+
+import pytest
+
+from repro.core.config_space import count_measurements
+from repro.platforms import (
+    ABM,
+    ALL_PLATFORMS,
+    Amazon,
+    BigML,
+    Google,
+    LocalLibrary,
+    Microsoft,
+    PredictionIO,
+)
+
+
+def test_complexity_ordering_matches_figure_2():
+    order = [cls.name for cls in ALL_PLATFORMS]
+    assert order == [
+        "abm", "google", "amazon", "predictionio", "bigml", "microsoft", "local",
+    ]
+    complexities = [cls.complexity for cls in ALL_PLATFORMS]
+    assert complexities == sorted(complexities)
+
+
+class TestBlackBoxes:
+    @pytest.mark.parametrize("cls", [ABM, Google])
+    def test_no_controls_exposed(self, cls):
+        platform = cls()
+        assert platform.exposed_dimensions == frozenset()
+        assert platform.classifier_abbrs() == []
+
+
+class TestAmazon:
+    def test_single_classifier_logistic_regression(self):
+        assert Amazon().classifier_abbrs() == ["LR"]
+
+    def test_three_parameters_per_table_1(self):
+        option = Amazon().controls.classifier("LR")
+        assert [p.name for p in option.parameters] == [
+            "maxIter", "regParam", "shuffleType",
+        ]
+
+    def test_exposes_only_para(self):
+        assert Amazon().exposed_dimensions == frozenset({"CLF", "PARA"}) - {"CLF"} \
+            or Amazon().exposed_dimensions == frozenset({"CLF", "PARA"})
+        # Amazon technically lists LR as its (only) classifier; PARA is the
+        # meaningful control.
+        assert "PARA" in Amazon().exposed_dimensions
+        assert "FEAT" not in Amazon().exposed_dimensions
+
+
+class TestPredictionIO:
+    def test_three_classifiers(self):
+        assert PredictionIO().classifier_abbrs() == ["LR", "NB", "DT"]
+
+    def test_parameter_counts_match_table_1(self):
+        counts = {
+            option.abbr: len(option.parameters)
+            for option in PredictionIO().controls.classifiers
+        }
+        assert counts == {"LR": 3, "NB": 1, "DT": 2}
+
+    def test_no_feature_selection(self):
+        assert "FEAT" not in PredictionIO().exposed_dimensions
+
+
+class TestBigML:
+    def test_four_classifiers(self):
+        assert BigML().classifier_abbrs() == ["LR", "DT", "BAG", "RF"]
+
+    def test_twelve_parameters_total(self):
+        total = sum(
+            len(option.parameters) for option in BigML().controls.classifiers
+        )
+        assert total == 12
+
+
+class TestMicrosoft:
+    def test_eight_feature_selectors(self):
+        selectors = Microsoft().controls.feature_selectors
+        assert len(selectors) == 8
+        assert "fisher_lda" in selectors
+        assert any("pearson" in s for s in selectors)
+
+    def test_seven_classifiers(self):
+        assert Microsoft().classifier_abbrs() == [
+            "LR", "SVM", "AP", "BPM", "BST", "RF", "DJ",
+        ]
+
+    def test_twenty_three_parameters_total(self):
+        total = sum(
+            len(option.parameters) for option in Microsoft().controls.classifiers
+        )
+        assert total == 23
+
+    def test_all_three_dimensions_exposed(self):
+        assert Microsoft().exposed_dimensions == frozenset({"FEAT", "CLF", "PARA"})
+
+
+class TestLocal:
+    def test_ten_classifiers(self):
+        assert LocalLibrary().classifier_abbrs() == [
+            "LR", "NB", "SVM", "LDA", "KNN", "DT", "BST", "BAG", "RF", "MLP",
+        ]
+
+    def test_eight_feature_selectors(self):
+        assert len(LocalLibrary().controls.feature_selectors) == 8
+
+    def test_largest_configuration_space(self):
+        # Fig 2 / Table 2: local explores the most configurations of any
+        # CLF-comparable platform per classifier count.
+        local = count_measurements(LocalLibrary())["configs_per_dataset"]
+        bigml = count_measurements(BigML())["configs_per_dataset"]
+        predictionio = count_measurements(PredictionIO())["configs_per_dataset"]
+        assert local > bigml > predictionio
+
+
+class TestTable2Scale:
+    def test_blackbox_platforms_one_measurement_per_dataset(self):
+        for cls in (ABM, Google):
+            row = count_measurements(cls(), n_datasets=119)
+            assert row["configs_per_dataset"] == 1
+            assert row["total_measurements"] == 119
+
+    def test_microsoft_dominates_measurement_count(self):
+        rows = {
+            cls.name: count_measurements(cls(), n_datasets=119)
+            for cls in ALL_PLATFORMS
+        }
+        microsoft = rows["microsoft"]["total_measurements"]
+        for name, row in rows.items():
+            if name not in ("microsoft", "local"):
+                assert row["total_measurements"] < microsoft
+
+    def test_measurement_ordering_matches_paper(self):
+        # Paper Table 2 ordering by scale:
+        # ABM = Google < Amazon < PredictionIO < BigML < Microsoft-ish
+        totals = [
+            count_measurements(cls(), n_datasets=119)["total_measurements"]
+            for cls in (ABM, Google, Amazon, PredictionIO, BigML, Microsoft)
+        ]
+        assert totals[0] == totals[1]
+        assert totals[1] < totals[2] < totals[3] < totals[4] < totals[5]

@@ -1,0 +1,172 @@
+"""Tests pinning the vendor-parameter -> estimator translations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.platforms import Amazon, BigML, LocalLibrary, Microsoft, PredictionIO
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_dataset("synthetic/linear_10d", size_cap=150, feature_cap=6).split(
+        random_state=0
+    )
+
+
+def trained_estimator(platform, split, **kwargs):
+    dataset_id = platform.upload_dataset(split.X_train, split.y_train)
+    model_id = platform.create_model(dataset_id, **kwargs)
+    handle = platform.get_model(model_id)
+    assert handle.state.value == "COMPLETED", handle.failure_reason
+    return handle.estimator
+
+
+class TestAmazonTranslation:
+    def test_reg_param_inverts_to_C(self, split):
+        estimator = trained_estimator(
+            Amazon(random_state=0), split,
+            classifier="LR", params={"regParam": 0.25},
+        )
+        # Amazon may wrap LR in its binning pipeline; find the LR.
+        lr = getattr(estimator, "final_estimator_", estimator)
+        assert lr.C == pytest.approx(4.0)
+        assert lr.solver == "sgd"
+
+    def test_shuffle_type_none(self, split):
+        estimator = trained_estimator(
+            Amazon(random_state=0), split,
+            classifier="LR", params={"shuffleType": "none"},
+        )
+        lr = getattr(estimator, "final_estimator_", estimator)
+        assert lr.shuffle is False
+
+
+class TestPredictionIOTranslation:
+    def test_fit_intercept_respected(self, split):
+        estimator = trained_estimator(
+            PredictionIO(random_state=0), split,
+            classifier="LR", params={"fitIntercept": False},
+        )
+        assert estimator.fit_intercept is False
+        assert estimator.intercept_ == 0.0
+
+    def test_max_depth_respected(self, split):
+        estimator = trained_estimator(
+            PredictionIO(random_state=0), split,
+            classifier="DT", params={"maxDepth": 2},
+        )
+        assert estimator.depth() <= 2
+
+
+class TestBigMLTranslation:
+    def test_l1_regularization_switches_solver(self, split):
+        estimator = trained_estimator(
+            BigML(random_state=0), split,
+            classifier="LR", params={"regularization": "l1"},
+        )
+        assert estimator.penalty == "l1"
+        assert estimator.solver == "sgd"
+
+    def test_deterministic_ordering_pins_seed(self, split):
+        platform = BigML(random_state=0)
+        a = trained_estimator(
+            platform, split, classifier="RF",
+            params={"ordering": "deterministic", "number_of_models": 3},
+        )
+        b = trained_estimator(
+            platform, split, classifier="RF",
+            params={"ordering": "deterministic", "number_of_models": 3},
+        )
+        probe = split.X_test[:20]
+        assert np.array_equal(
+            a.predict_proba(probe), b.predict_proba(probe)
+        )
+
+    def test_bagging_builds_requested_members(self, split):
+        estimator = trained_estimator(
+            BigML(random_state=0), split,
+            classifier="BAG", params={"number_of_models": 4},
+        )
+        assert len(estimator.estimators_) == 4
+
+
+class TestMicrosoftTranslation:
+    def test_lr_no_regularization_when_weights_zero(self, split):
+        estimator = trained_estimator(
+            Microsoft(random_state=0), split,
+            classifier="LR", params={"l1_weight": 0.01, "l2_weight": 100.0},
+        )
+        assert estimator.penalty == "l2"
+        assert estimator.C == pytest.approx(0.01)
+
+    def test_lr_l1_dominant_uses_sgd(self, split):
+        estimator = trained_estimator(
+            Microsoft(random_state=0), split,
+            classifier="LR", params={"l1_weight": 100.0, "l2_weight": 0.01},
+        )
+        assert estimator.penalty == "l1"
+        assert estimator.solver == "sgd"
+
+    def test_bst_max_leaves_becomes_depth(self, split):
+        estimator = trained_estimator(
+            Microsoft(random_state=0), split,
+            classifier="BST", params={"max_leaves": 4, "n_trees": 5},
+        )
+        assert estimator.max_depth == 2  # ceil(log2(4))
+
+    def test_rf_replicate_disables_bootstrap(self, split):
+        estimator = trained_estimator(
+            Microsoft(random_state=0), split,
+            classifier="RF", params={"resampling": "replicate", "n_trees": 3},
+        )
+        assert estimator.bootstrap is False
+
+    def test_rf_random_splits_mapping(self, split):
+        one = trained_estimator(
+            Microsoft(random_state=0), split,
+            classifier="RF", params={"random_splits": 1, "n_trees": 2},
+        )
+        assert one.max_features == 1
+        all_features = trained_estimator(
+            Microsoft(random_state=0), split,
+            classifier="RF", params={"random_splits": 1024, "n_trees": 2},
+        )
+        assert all_features.max_features is None
+
+    def test_dj_width_capped_for_simulation(self, split):
+        estimator = trained_estimator(
+            Microsoft(random_state=0), split,
+            classifier="DJ", params={"max_width": 256, "n_dags": 2},
+        )
+        assert estimator.max_width == 64  # documented simulation cap
+
+
+class TestLocalTranslation:
+    def test_lr_l1_with_lbfgs_falls_back_to_sgd(self, split):
+        estimator = trained_estimator(
+            LocalLibrary(random_state=0), split,
+            classifier="LR", params={"penalty": "l1", "solver": "lbfgs"},
+        )
+        assert estimator.solver == "sgd"
+
+    def test_nb_uniform_prior(self, split):
+        estimator = trained_estimator(
+            LocalLibrary(random_state=0), split,
+            classifier="NB", params={"prior": "uniform"},
+        )
+        assert estimator.class_prior_.tolist() == [0.5, 0.5]
+
+    def test_lda_shrinkage_none_string(self, split):
+        estimator = trained_estimator(
+            LocalLibrary(random_state=0), split,
+            classifier="LDA", params={"shrinkage": "none"},
+        )
+        assert estimator.shrinkage is None
+
+    def test_dt_max_features_all(self, split):
+        estimator = trained_estimator(
+            LocalLibrary(random_state=0), split,
+            classifier="DT", params={"max_features": "all"},
+        )
+        assert estimator.max_features is None

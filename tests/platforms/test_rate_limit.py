@@ -1,0 +1,81 @@
+"""Tests for the API rate-limit quota (§8: why some vendors were excluded)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuotaExceededError
+from repro.platforms import Google, Microsoft
+
+
+class FakeClock:
+    """Deterministic injectable clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def data(linear_data):
+    X_train, y_train, _, _ = linear_data
+    return X_train, y_train
+
+
+def test_quota_enforced_within_window(data):
+    X, y = data
+    clock = FakeClock()
+    platform = Google(rate_limit_per_minute=3, clock=clock)
+    platform.upload_dataset(X, y)          # request 1
+    platform.upload_dataset(X, y)          # request 2
+    platform.upload_dataset(X, y)          # request 3
+    with pytest.raises(QuotaExceededError, match="rate limit"):
+        platform.upload_dataset(X, y)      # request 4 -> rejected
+
+
+def test_quota_resets_after_window(data):
+    X, y = data
+    clock = FakeClock()
+    platform = Google(rate_limit_per_minute=2, clock=clock)
+    platform.upload_dataset(X, y)
+    platform.upload_dataset(X, y)
+    clock.advance(61.0)
+    # The rolling window has moved on; requests flow again.
+    dataset_id = platform.upload_dataset(X, y)
+    assert dataset_id in platform.list_datasets()
+
+
+def test_quota_counts_all_mutating_calls(data):
+    X, y = data
+    clock = FakeClock()
+    platform = Microsoft(rate_limit_per_minute=3, clock=clock)
+    dataset_id = platform.upload_dataset(X, y)               # 1
+    model_id = platform.create_model(dataset_id, classifier="LR")  # 2
+    platform.batch_predict(model_id, X[:5])                  # 3
+    with pytest.raises(QuotaExceededError):
+        platform.batch_predict(model_id, X[:5])              # 4
+
+
+def test_sliding_window_partial_expiry(data):
+    X, y = data
+    clock = FakeClock()
+    platform = Google(rate_limit_per_minute=2, clock=clock)
+    platform.upload_dataset(X, y)    # t = 0
+    clock.advance(40.0)
+    platform.upload_dataset(X, y)    # t = 40
+    clock.advance(25.0)              # t = 65: first request expired
+    platform.upload_dataset(X, y)    # allowed (only t=40 in window)
+    with pytest.raises(QuotaExceededError):
+        platform.upload_dataset(X, y)
+
+
+def test_no_limit_by_default(data):
+    X, y = data
+    platform = Google()
+    for _ in range(30):
+        platform.upload_dataset(X, y)
+    assert len(platform.list_datasets()) == 30

@@ -1,0 +1,183 @@
+"""Per-vendor behavioural tests: hidden optimizations and translations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.learn.metrics import f_score
+from repro.platforms import (
+    ABM,
+    ALL_PLATFORMS,
+    Amazon,
+    BigML,
+    Google,
+    LocalLibrary,
+    Microsoft,
+    PredictionIO,
+)
+
+
+@pytest.fixture(scope="module")
+def circle_split():
+    return load_dataset("synthetic/circle", size_cap=400).split(random_state=0)
+
+
+@pytest.fixture(scope="module")
+def linear_split():
+    return load_dataset("synthetic/linear", size_cap=400).split(random_state=0)
+
+
+def train_and_score(platform, split, **model_kwargs):
+    dataset_id = platform.upload_dataset(split.X_train, split.y_train)
+    model_id = platform.create_model(dataset_id, **model_kwargs)
+    predictions = platform.batch_predict(model_id, split.X_test)
+    return f_score(split.y_test, predictions), platform.get_model(model_id)
+
+
+@pytest.mark.parametrize("cls", ALL_PLATFORMS)
+def test_default_model_works_everywhere(cls, linear_split):
+    score, _ = train_and_score(cls(random_state=0), linear_split)
+    assert score > 0.5
+
+
+class TestBlackBoxSwitching:
+    """§6.1: Google and ABM switch classifier family per dataset."""
+
+    @pytest.mark.parametrize("cls", [Google, ABM])
+    def test_nonlinear_on_circle(self, cls, circle_split):
+        score, handle = train_and_score(cls(random_state=0), circle_split)
+        assert handle.metadata["selection"].chosen_family == "nonlinear"
+        assert score > 0.9
+
+    @pytest.mark.parametrize("cls", [Google, ABM])
+    def test_linear_on_linear(self, cls, linear_split):
+        _, handle = train_and_score(cls(random_state=0), linear_split)
+        assert handle.metadata["selection"].chosen_family == "linear"
+
+    def test_blackboxes_beat_plain_lr_baseline_on_circle(self, circle_split):
+        # The §4.1 observation: black-box internal optimization beats
+        # other platforms' zero-control baselines on non-linear data.
+        google_score, _ = train_and_score(Google(random_state=0), circle_split)
+        local_score, _ = train_and_score(
+            LocalLibrary(random_state=0), circle_split, classifier="LR"
+        )
+        assert google_score > local_score + 0.2
+
+
+class TestAmazonHiddenRecipe:
+    """§6.2 + Fig 13: Amazon claims LR but acts non-linear at times."""
+
+    def test_nonlinear_on_circle(self, circle_split):
+        score, handle = train_and_score(Amazon(random_state=0), circle_split)
+        assert handle.metadata["selection"].chosen_family == "nonlinear"
+        assert score > 0.85
+
+    def test_classifier_is_reported_as_lr(self, circle_split):
+        _, handle = train_and_score(Amazon(random_state=0), circle_split)
+        assert handle.classifier_abbr == "LR"  # what the docs claim
+
+    def test_parameters_affect_model(self, linear_split):
+        lax, _ = train_and_score(
+            Amazon(random_state=0), linear_split,
+            classifier="LR", params={"maxIter": 1000, "regParam": 1e-4},
+        )
+        harsh, _ = train_and_score(
+            Amazon(random_state=0), linear_split,
+            classifier="LR", params={"maxIter": 1, "regParam": 1.0},
+        )
+        assert lax >= harsh
+
+
+class TestBigMLTranslations:
+    def test_node_threshold_caps_depth(self, circle_split):
+        platform = BigML(random_state=0)
+        dataset_id = platform.upload_dataset(
+            circle_split.X_train, circle_split.y_train
+        )
+        model_id = platform.create_model(
+            dataset_id, classifier="DT", params={"node_threshold": 32}
+        )
+        tree = platform.get_model(model_id).estimator
+        assert tree.depth() <= 5  # ceil(log2(32)) = 5
+
+    def test_forest_uses_requested_size(self, circle_split):
+        platform = BigML(random_state=0)
+        dataset_id = platform.upload_dataset(
+            circle_split.X_train, circle_split.y_train
+        )
+        model_id = platform.create_model(
+            dataset_id, classifier="RF", params={"number_of_models": 5}
+        )
+        forest = platform.get_model(model_id).estimator
+        assert len(forest.estimators_) == 5
+
+
+class TestMicrosoftAssembly:
+    def test_feature_selection_step_wraps_pipeline(self, linear_split):
+        platform = Microsoft(random_state=0)
+        dataset_id = platform.upload_dataset(
+            linear_split.X_train, linear_split.y_train
+        )
+        model_id = platform.create_model(
+            dataset_id, classifier="BST", feature_selection="filter_pearson"
+        )
+        from repro.learn.pipeline import Pipeline
+
+        estimator = platform.get_model(model_id).estimator
+        assert isinstance(estimator, Pipeline)
+
+    def test_boosted_trees_solve_circle(self, circle_split):
+        score, _ = train_and_score(
+            Microsoft(random_state=0), circle_split, classifier="BST"
+        )
+        assert score > 0.9
+
+    def test_default_lr_baseline_is_weak_on_circle(self, circle_split):
+        # Azure's default LR (heavy regularization) — the paper's worst
+        # baseline — cannot fit the circle.
+        score, _ = train_and_score(
+            Microsoft(random_state=0), circle_split, classifier="LR"
+        )
+        assert score < 0.8
+
+    def test_decision_jungle_trains(self, circle_split):
+        score, _ = train_and_score(
+            Microsoft(random_state=0), circle_split,
+            classifier="DJ", params={"n_dags": 4, "max_depth": 8},
+        )
+        assert score > 0.8
+
+
+class TestPredictionIO:
+    def test_decision_tree_solves_circle(self, circle_split):
+        score, _ = train_and_score(
+            PredictionIO(random_state=0), circle_split,
+            classifier="DT", params={"maxDepth": 16},
+        )
+        assert score > 0.9
+
+    def test_naive_bayes_lambda_translated(self, linear_split):
+        platform = PredictionIO(random_state=0)
+        dataset_id = platform.upload_dataset(
+            linear_split.X_train, linear_split.y_train
+        )
+        model_id = platform.create_model(
+            dataset_id, classifier="NB", params={"lambda": 1e-4}
+        )
+        estimator = platform.get_model(model_id).estimator
+        assert estimator.var_smoothing == 1e-4
+
+
+class TestLocalLibrary:
+    def test_mlp_available_only_locally(self, circle_split):
+        score, _ = train_and_score(
+            LocalLibrary(random_state=0), circle_split, classifier="MLP"
+        )
+        assert score > 0.85
+
+    def test_scaler_feature_step(self, linear_split):
+        score, _ = train_and_score(
+            LocalLibrary(random_state=0), linear_split,
+            classifier="LR", feature_selection="standard_scaler",
+        )
+        assert score > 0.7

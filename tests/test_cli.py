@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+def test_corpus_lists_119_datasets():
+    output = run_cli("corpus")
+    assert "119 datasets" in output
+    assert "synthetic/circle" in output
+    assert "life_science" in output
+
+
+def test_platforms_lists_control_surfaces():
+    output = run_cli("platforms")
+    assert "microsoft" in output
+    assert "(hidden)" in output      # black boxes hide classifiers
+    assert "FEAT" in output
+
+
+def test_baseline_runs_small_study():
+    output = run_cli("baseline", "--datasets", "3", "--size-cap", "120")
+    assert "Baseline" in output
+    for platform in ("google", "abm", "microsoft", "local"):
+        assert platform in output
+
+
+def test_boundary_probe_circle():
+    output = run_cli(
+        "boundary", "google", "--dataset", "synthetic/circle",
+        "--resolution", "40",
+    )
+    assert "NON-linear" in output
+    assert "#" in output
+
+
+def test_boundary_rejects_high_dimensional_dataset(capsys):
+    code = main([
+        "boundary", "google", "--dataset", "synthetic/linear_10d",
+    ], out=io.StringIO())
+    assert code == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_platform():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["boundary", "watson"])

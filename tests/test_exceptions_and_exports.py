@@ -1,0 +1,66 @@
+"""Tests for the exception hierarchy and public package exports."""
+
+import pytest
+
+import repro
+import repro.analysis as analysis
+import repro.core as core
+import repro.datasets as datasets
+import repro.learn as learn
+import repro.platforms as platforms
+from repro.exceptions import (
+    JobFailedError,
+    NotFittedError,
+    PlatformError,
+    QuotaExceededError,
+    ReproError,
+    ResourceNotFoundError,
+    UnsupportedControlError,
+    ValidationError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error in (
+        NotFittedError, ValidationError, PlatformError,
+        UnsupportedControlError, ResourceNotFoundError, JobFailedError,
+        QuotaExceededError,
+    ):
+        assert issubclass(error, ReproError)
+
+
+def test_validation_error_is_also_value_error():
+    # Callers using plain `except ValueError` still catch our validation
+    # failures.
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_platform_errors_subclass_platform_error():
+    for error in (
+        UnsupportedControlError, ResourceNotFoundError, JobFailedError,
+        QuotaExceededError,
+    ):
+        assert issubclass(error, PlatformError)
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("module", [learn, datasets, platforms, core, analysis])
+def test_all_exports_resolve(module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_classifier_registry_families_partition():
+    assert not (learn.LINEAR_FAMILY & learn.NONLINEAR_FAMILY)
+    assert learn.LINEAR_FAMILY | learn.NONLINEAR_FAMILY == \
+        set(learn.CLASSIFIER_REGISTRY)
+
+
+def test_registry_entries_are_estimator_classes():
+    from repro.learn.base import BaseEstimator
+
+    for cls in learn.CLASSIFIER_REGISTRY.values():
+        assert issubclass(cls, BaseEstimator)
