@@ -23,4 +23,29 @@ Subpackages
     the naive selection strategy.
 """
 
+from repro.exceptions import (
+    ConvergenceWarning,
+    JobFailedError,
+    NotFittedError,
+    PlatformError,
+    QuotaExceededError,
+    ReproError,
+    ResourceNotFoundError,
+    UnsupportedControlError,
+    ValidationError,
+)
+
+__all__ = [
+    "ConvergenceWarning",
+    "JobFailedError",
+    "NotFittedError",
+    "PlatformError",
+    "QuotaExceededError",
+    "ReproError",
+    "ResourceNotFoundError",
+    "UnsupportedControlError",
+    "ValidationError",
+    "__version__",
+]
+
 __version__ = "1.0.0"

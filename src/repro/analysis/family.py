@@ -19,6 +19,7 @@ This module reproduces that pipeline end to end:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +28,7 @@ from repro.core.config_space import enumerate_configurations
 from repro.core.controls import Configuration
 from repro.core.runner import ExperimentRunner
 from repro.datasets.corpus import Dataset
-from repro.exceptions import ValidationError
+from repro.exceptions import ReproError, ValidationError
 from repro.learn import LINEAR_FAMILY, NONLINEAR_FAMILY
 from repro.learn.ensemble import RandomForestClassifier
 from repro.learn.metrics import classification_summary, f_score
@@ -44,6 +45,8 @@ __all__ = [
     "infer_blackbox_families",
     "BlackBoxFamilyReport",
 ]
+
+_log = logging.getLogger(__name__)
 
 
 def family_of(classifier_abbr: str) -> str:
@@ -90,6 +93,7 @@ def collect_family_observations(
     platforms whose classifier ground truth is known).
     """
     observations: dict[str, list[FamilyObservation]] = {d.name: [] for d in datasets}
+    n_failed = 0
     for platform in platforms:
         if not platform.controls.classifiers:
             continue
@@ -102,7 +106,12 @@ def collect_family_observations(
                     y_test, predictions = runner.predictions_for(
                         platform, dataset, configuration
                     )
-                except Exception:
+                except ReproError as exc:
+                    n_failed += 1
+                    _log.debug(
+                        "family sweep: %s on %s with %s failed: %s",
+                        platform.name, dataset.name, configuration, exc,
+                    )
                     continue
                 if len(np.unique(predictions)) < 2:
                     # A model collapsed to one class carries no family
@@ -116,6 +125,8 @@ def collect_family_observations(
                     family=family_of(configuration.classifier),
                     features=_observation_features(y_test, predictions),
                 ))
+    if n_failed:
+        _log.info("family sweep dropped %d failed experiment(s)", n_failed)
     return observations
 
 
@@ -143,6 +154,7 @@ class FamilyPredictor:
     feature_length: int = 0
     classes: tuple = ("linear", "nonlinear")
     qualification_threshold: float = 0.95
+    failure_reason: str | None = None
 
     @property
     def qualified(self) -> bool:
@@ -213,8 +225,9 @@ def train_family_predictors(
                 predictor.model = model
                 predictor.feature_length = X.shape[1]
                 predictor.test_f_score = f_score(y_test, model.predict(X_test))
-            except Exception:
+            except ReproError as exc:
                 predictor.model = None
+                predictor.failure_reason = f"{type(exc).__name__}: {exc}"
         predictors[dataset] = predictor
     return predictors
 
@@ -225,6 +238,7 @@ class BlackBoxFamilyReport:
 
     platform: str
     choices: dict = field(default_factory=dict)   # dataset -> family
+    failures: dict = field(default_factory=dict)  # dataset -> error message
 
     @property
     def n_linear(self) -> int:
@@ -256,7 +270,8 @@ def infer_blackbox_families(
             y_test, predictions = runner.predictions_for(
                 blackbox, dataset, Configuration.make()
             )
-        except Exception:
+        except ReproError as exc:
+            report.failures[dataset.name] = f"{type(exc).__name__}: {exc}"
             continue
         report.choices[dataset.name] = predictor.predict(y_test, predictions)
     return report

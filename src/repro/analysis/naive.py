@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.controls import Configuration
 from repro.core.runner import ExperimentRunner
 from repro.datasets.corpus import Dataset
+from repro.exceptions import ReproError
 from repro.learn.linear import LogisticRegression
 from repro.learn.metrics import f_score
 from repro.learn.tree import DecisionTreeClassifier
@@ -68,6 +69,9 @@ class NaiveComparison:
     ``breakdown`` is Table 6: among datasets where naive wins, counts
     keyed by (black-box family, naive family).  ``win_margins`` is the
     Fig 14 series: the F-score differences on winning datasets.
+    ``failures`` records datasets the black box failed on (dataset name
+    -> error message), so dropped configurations are visible in the
+    aggregate instead of silently shrinking ``n_datasets``.
     """
 
     platform: str
@@ -75,6 +79,12 @@ class NaiveComparison:
     n_naive_wins: int = 0
     breakdown: dict = field(default_factory=dict)
     win_margins: list = field(default_factory=list)
+    failures: dict = field(default_factory=dict)
+
+    @property
+    def n_failed(self) -> int:
+        """Datasets excluded because the black-box run failed."""
+        return len(self.failures)
 
     def win_fraction(self) -> float:
         """Fraction of datasets where the naive strategy won."""
@@ -108,7 +118,8 @@ def compare_with_blackbox(
             y_test, predictions = runner.predictions_for(
                 blackbox, dataset, Configuration.make()
             )
-        except Exception:
+        except ReproError as exc:
+            comparison.failures[dataset.name] = f"{type(exc).__name__}: {exc}"
             continue
         blackbox_score = f_score(y_test, predictions)
         naive = naive_strategy(runner, dataset, random_state=random_state)

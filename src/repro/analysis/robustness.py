@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.controls import Configuration
 from repro.datasets.corpus import Dataset
+from repro.exceptions import ReproError
 from repro.learn.metrics import f_score
 from repro.learn.validation import check_random_state
 from repro.platforms.base import MLaaSPlatform
@@ -31,6 +32,7 @@ class NoiseCurve:
     dataset: str
     noise_rates: list = field(default_factory=list)
     f_scores: list = field(default_factory=list)
+    failures: list = field(default_factory=list)  # (noise rate, error message)
 
     def degradation(self) -> float:
         """Clean-label F-score minus the worst noisy F-score."""
@@ -82,7 +84,10 @@ def label_noise_curve(
             )
             predictions = platform.batch_predict(model_id, split.X_test)
             score = f_score(split.y_test, predictions)
-        except Exception:
+        except ReproError as exc:
+            # A failed job scores 0 — the deployed model is unusable — but
+            # the failure is kept visible on the curve, not swallowed.
+            curve.failures.append((float(rate), f"{type(exc).__name__}: {exc}"))
             score = 0.0
         finally:
             platform.delete_dataset(dataset_id)

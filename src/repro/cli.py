@@ -7,8 +7,11 @@ Gives downstream users the common study operations without writing code:
 * ``baseline``  — run the zero-control protocol and print Table 3(a).
 * ``optimized`` — run the full-sweep protocol and print Fig 4 / Table 3(b).
 * ``boundary``  — probe a platform's decision boundary on a 2-D dataset.
+* ``lint``      — check the source tree against the reproduction
+  invariants (determinism, estimator contract, Table 1 conformance,
+  exception hygiene, export sync); see :mod:`repro.tools.lint`.
 
-All commands accept ``--datasets`` / ``--size-cap`` to bound runtime.
+The study commands accept ``--datasets`` / ``--size-cap`` to bound runtime.
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ from repro.analysis import (
 from repro.core import MLaaSStudy, StudyScale
 from repro.datasets import CORPUS, load_dataset
 from repro.platforms import ALL_PLATFORMS, make_platform
+from repro.tools.lint.cli import configure_parser as _configure_lint_parser
+from repro.tools.lint.cli import run_lint_command
 
 __all__ = ["main", "build_parser"]
 
@@ -60,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="a 2-feature corpus dataset name")
     boundary.add_argument("--resolution", type=int, default=60)
     boundary.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint", help="check the source against the reproduction invariants"
+    )
+    _configure_lint_parser(lint)
     return parser
 
 
@@ -149,6 +159,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_study(args, optimized=True, out=out)
     if args.command == "boundary":
         return _cmd_boundary(args, out=out)
+    if args.command == "lint":
+        return run_lint_command(args, out=out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -7,6 +7,18 @@ swallowing programming errors such as :class:`TypeError`.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "NotFittedError",
+    "ValidationError",
+    "ConvergenceWarning",
+    "PlatformError",
+    "UnsupportedControlError",
+    "ResourceNotFoundError",
+    "JobFailedError",
+    "QuotaExceededError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""

@@ -102,6 +102,8 @@ __all__ = [
     "LinearRegression", "DecisionTreeRegressor", "KNeighborsRegressor",
     "mean_squared_error", "mean_absolute_error", "r2_score",
     "OneVsRestClassifier",
+    # registries (Tables 4 & 5)
+    "CLASSIFIER_REGISTRY", "LINEAR_FAMILY", "NONLINEAR_FAMILY",
 ]
 
 #: Classifier abbreviation -> class, as used in the paper's Table 4/5.

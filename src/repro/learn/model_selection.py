@@ -13,7 +13,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ReproError, ValidationError
 from repro.learn.base import BaseEstimator, clone
 from repro.learn.metrics import f_score
 from repro.learn.validation import check_random_state, check_X_y
@@ -238,7 +238,7 @@ class GridSearchCV(BaseEstimator):
                     scoring=self.scoring, random_state=self.random_state,
                 )
                 mean_score = float(scores.mean())
-            except Exception:
+            except ReproError:
                 # A candidate whose parameters are invalid for this dataset
                 # (e.g. k > n_samples) is skipped, as a measurement script
                 # would skip a failed platform job.

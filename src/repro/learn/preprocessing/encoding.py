@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.learn.base import BaseEstimator, TransformerMixin, check_is_fitted
+from repro.learn.validation import check_array
 
 __all__ = ["OrdinalEncoder"]
 
@@ -42,7 +43,9 @@ class OrdinalEncoder(BaseEstimator, TransformerMixin):
     """
 
     def fit(self, X, y=None) -> "OrdinalEncoder":
-        X = self._as_object_matrix(X)
+        # dtype=object keeps mixed string/number columns intact; missing
+        # entries are legitimate here (the imputer runs downstream).
+        X = check_array(X, dtype=object)
         self.categories_: list[dict | None] = []
         for j in range(X.shape[1]):
             column = X[:, j]

@@ -113,6 +113,12 @@ class _RowNormalizer(BaseEstimator, TransformerMixin):
     def transform(self, X) -> np.ndarray:
         check_is_fitted(self, "n_features_in_")
         X = check_array(X)
+        # Normalization is scale-invariant, so divide each row by its peak
+        # magnitude first: raising subnormal-range entries to a power would
+        # otherwise underflow and let x/||x|| land slightly above 1.
+        peak = np.max(np.abs(X), axis=1)
+        peak[peak == 0.0] = 1.0
+        X = X / peak[:, None]
         norms = np.linalg.norm(X, ord=self._order, axis=1)
         norms[norms == 0.0] = 1.0
         return X / norms[:, None]

@@ -23,7 +23,7 @@ from repro.learn.validation import (
     check_X_y,
 )
 
-__all__ = ["DecisionTreeClassifier", "TreeNode"]
+__all__ = ["DecisionTreeClassifier", "TreeNode", "find_best_split"]
 
 
 @dataclass

@@ -8,8 +8,28 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 
-__all__ = ["check_array", "check_X_y", "check_random_state",
-           "column_or_1d", "check_binary_labels"]
+__all__ = ["DEFAULT_SEED", "UNSEEDED", "check_array", "check_X_y",
+           "check_random_state", "column_or_1d", "check_binary_labels"]
+
+#: Seed used when ``random_state`` is omitted (``None``).  An omitted
+#: seed must never make a measurement silently irreproducible (§3.2's
+#: protocol is seed-chained end to end), so ``None`` now means "the
+#: documented default seed", not "fresh OS entropy".
+DEFAULT_SEED = 0
+
+
+class _UnseededSentinel:
+    """Type of :data:`UNSEEDED`; never instantiated elsewhere."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "repro.learn.validation.UNSEEDED"
+
+
+#: Explicit opt-in to a nondeterministic generator.  Passing this as
+#: ``random_state`` is the only supported way to get OS-entropy
+#: randomness, which keeps every unseeded RNG grep-able and auditable
+#: (lint rule R001 forbids bare ``np.random.default_rng()``).
+UNSEEDED = _UnseededSentinel()
 
 
 def check_array(
@@ -101,16 +121,24 @@ def check_binary_labels(y: np.ndarray) -> np.ndarray:
 def check_random_state(seed) -> np.random.Generator:
     """Turn ``seed`` into a :class:`numpy.random.Generator`.
 
-    Accepts ``None`` (fresh nondeterministic generator), an integer seed,
-    or an existing Generator (returned as-is so state is shared).
+    Accepts ``None`` (deterministic generator seeded with
+    :data:`DEFAULT_SEED`, so omitting a seed can never silently make a
+    sweep irreproducible), an integer seed, an existing Generator
+    (returned as-is so state is shared), or the :data:`UNSEEDED`
+    sentinel — the explicit, documented opt-in to OS-entropy
+    nondeterminism.
     """
     if seed is None:
-        return np.random.default_rng()
+        return np.random.default_rng(DEFAULT_SEED)
+    if seed is UNSEEDED:
+        # The one sanctioned escape hatch from the seed chain; every
+        # caller must opt in by name so unseeded paths stay grep-able.
+        return np.random.default_rng()  # repro: disable=R001 -- UNSEEDED sentinel is the audited opt-in to OS entropy
     if isinstance(seed, np.random.Generator):
         return seed
     if isinstance(seed, numbers.Integral):
         return np.random.default_rng(int(seed))
     raise ValidationError(
-        f"random_state must be None, an int, or a numpy Generator; "
-        f"got {type(seed).__name__}"
+        f"random_state must be None, UNSEEDED, an int, or a numpy "
+        f"Generator; got {type(seed).__name__}"
     )

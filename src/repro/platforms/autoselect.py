@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exceptions import ReproError
 from repro.learn.base import BaseEstimator, clone
 from repro.learn.metrics import f_score
 from repro.learn.model_selection import StratifiedKFold
@@ -112,7 +113,9 @@ class AutoClassifierSelector:
             try:
                 model.fit(X[train], y[train])
                 scores.append(f_score(y[test], model.predict(X[test])))
-            except Exception:
+            except ReproError:
+                # A candidate that cannot fit a fold loses that fold; the
+                # server-side probe never surfaces errors to the client.
                 scores.append(0.0)
         return float(np.mean(scores)) if scores else 0.0
 

@@ -1,0 +1,16 @@
+"""Developer tooling for the reproduction.
+
+``repro.tools.lint``
+    AST-based invariant checker (``repro lint``) enforcing the
+    reproduction's contracts: determinism, the estimator protocol,
+    Table 1 conformance, exception hygiene and export sync.
+"""
+
+from repro.tools.lint import (
+    LintResult,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = ["LintResult", "Violation", "lint_paths", "lint_source"]

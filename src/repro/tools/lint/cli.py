@@ -1,0 +1,93 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.tools.lint``.
+
+Exit codes follow the convention the test gate and CI rely on:
+
+* ``0`` — every checked file is clean (suppressed findings allowed);
+* ``1`` — at least one unsuppressed violation;
+* ``2`` — usage error (unknown flag, nonexistent path, no files found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.tools.lint.engine import RULE_REGISTRY
+from repro.tools.lint.reporters import REPORTERS
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "build_parser",
+    "configure_parser",
+    "main",
+    "run_lint_command",
+]
+
+#: Default lint target: the package's own source tree, resolved relative
+#: to this file so the command works from any working directory.
+DEFAULT_TARGET = Path(__file__).resolve().parents[2]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the lint arguments to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include justified suppressions in the report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule codes and exit",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the standalone argument parser for ``python -m repro.tools.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checker for the MLaaS reproduction",
+    )
+    return configure_parser(parser)
+
+
+def _print_rules(out) -> int:
+    for code, cls in sorted(RULE_REGISTRY.items()):
+        print(f"{code}  {cls.name:<20} {cls.description}", file=out)
+    return 0
+
+
+def run_lint_command(args: argparse.Namespace, out=None) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    out = out or sys.stdout
+    if args.list_rules:
+        return _print_rules(out)
+    paths = args.paths or [DEFAULT_TARGET]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+            return 2
+    from repro.tools.lint.engine import run_lint
+
+    result = run_lint(paths, root=Path.cwd())
+    if result.n_files == 0:
+        print("error: no python files found under the given paths",
+              file=sys.stderr)
+        return 2
+    reporter = REPORTERS[args.format]
+    print(reporter(result, show_suppressed=args.show_suppressed), file=out)
+    return result.exit_code
+
+
+def main(argv=None, out=None) -> int:
+    """Entry point for ``python -m repro.tools.lint``."""
+    args = build_parser().parse_args(argv)
+    return run_lint_command(args, out=out)

@@ -5,6 +5,8 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.learn.validation import (
+    DEFAULT_SEED,
+    UNSEEDED,
     check_array,
     check_binary_labels,
     check_random_state,
@@ -102,6 +104,26 @@ def test_check_random_state_none_gives_generator():
     assert isinstance(check_random_state(None), np.random.Generator)
 
 
+def test_check_random_state_none_is_deterministic():
+    # An omitted seed must never make a run irreproducible: None means
+    # "the documented default seed", not "fresh OS entropy".
+    a = check_random_state(None).random(5)
+    b = check_random_state(None).random(5)
+    c = check_random_state(DEFAULT_SEED).random(5)
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, c)
+
+
+def test_check_random_state_unseeded_sentinel_opts_into_entropy():
+    rng = check_random_state(UNSEEDED)
+    assert isinstance(rng, np.random.Generator)
+    # Two UNSEEDED generators are (overwhelmingly likely) distinct.
+    other = check_random_state(UNSEEDED)
+    assert rng is not other
+
+
 def test_check_random_state_rejects_strings():
     with pytest.raises(ValidationError, match="random_state"):
         check_random_state("seed")
+    with pytest.raises(ValidationError, match="UNSEEDED"):
+        check_random_state(3.5)

@@ -1,0 +1,50 @@
+"""Reporter snapshots: text and JSON renderings of a fixed result."""
+
+import json
+
+from repro.tools.lint import LintResult, Violation, render_json, render_text
+
+_RESULT = LintResult(
+    violations=[
+        Violation(code="R001", message="unseeded rng", path="src/a.py",
+                  line=3, col=4),
+        Violation(code="R004", message="bare except", path="src/b.py",
+                  line=9, col=0, suppressed=True, reason="fixture"),
+    ],
+    n_files=2,
+)
+
+
+def test_text_report_hides_suppressed_by_default():
+    text = render_text(_RESULT)
+    assert "src/a.py:3:4: R001 unseeded rng" in text
+    assert "bare except" not in text
+    assert "1 violation (1 suppressed) in 2 files" in text
+
+
+def test_text_report_can_show_suppressed():
+    text = render_text(_RESULT, show_suppressed=True)
+    assert "bare except" in text
+    assert "fixture" in text
+
+
+def test_text_report_clean_summary():
+    text = render_text(LintResult(violations=[], n_files=5))
+    assert "0 violations" in text
+
+
+def test_json_report_round_trips():
+    payload = json.loads(render_json(_RESULT))
+    assert payload["summary"]["files"] == 2
+    assert payload["summary"]["violations"] == 1
+    assert payload["summary"]["suppressed"] == 1
+    assert payload["summary"]["exit_code"] == 1
+    [violation] = [v for v in payload["violations"] if v["code"] == "R001"]
+    assert violation["path"] == "src/a.py"
+    assert violation["line"] == 3
+
+
+def test_json_report_includes_suppressed_when_asked():
+    payload = json.loads(render_json(_RESULT, show_suppressed=True))
+    codes = {v["code"] for v in payload["violations"]}
+    assert codes == {"R001", "R004"}
