@@ -10,6 +10,9 @@ Gives downstream users the common study operations without writing code:
 * ``lint``      — check the source tree against the reproduction
   invariants (determinism, estimator contract, Table 1 conformance,
   exception hygiene, export sync); see :mod:`repro.tools.lint`.
+* ``flow``      — project-wide data-flow & architecture analysis
+  (layering DAG, leakage taint, seed flow, dead code, API drift); see
+  :mod:`repro.tools.flow`.
 
 The study commands accept ``--datasets`` / ``--size-cap`` to bound runtime.
 """
@@ -28,6 +31,8 @@ from repro.analysis import (
 from repro.core import MLaaSStudy, StudyScale
 from repro.datasets import CORPUS, load_dataset
 from repro.platforms import ALL_PLATFORMS, make_platform
+from repro.tools.flow.cli import configure_parser as _configure_flow_parser
+from repro.tools.flow.cli import run_flow_command
 from repro.tools.lint.cli import configure_parser as _configure_lint_parser
 from repro.tools.lint.cli import run_lint_command
 
@@ -70,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="check the source against the reproduction invariants"
     )
     _configure_lint_parser(lint)
+
+    flow = sub.add_parser(
+        "flow", help="project-wide data-flow & architecture analysis"
+    )
+    _configure_flow_parser(flow)
     return parser
 
 
@@ -161,6 +171,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_boundary(args, out=out)
     if args.command == "lint":
         return run_lint_command(args, out=out)
+    if args.command == "flow":
+        return run_flow_command(args, out=out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -83,7 +83,7 @@ class ExperimentRunner:
                     configuration=configuration,
                     metrics=_FAILED_METRICS,
                     status="failed",
-                    failure_reason=handle.failure_reason,
+                    failure_reason=str(handle.failure_reason),
                 )
             predictions = platform.batch_predict(model_id, split.X_test)
             metrics = classification_summary(split.y_test, predictions)

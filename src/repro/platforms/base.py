@@ -28,6 +28,7 @@ import numpy as np
 from repro.exceptions import (
     JobFailedError,
     QuotaExceededError,
+    ReproError,
     ResourceNotFoundError,
     UnsupportedControlError,
     ValidationError,
@@ -42,6 +43,7 @@ __all__ = [
     "JobState",
     "ModelHandle",
     "MLaaSPlatform",
+    "TrainingFailure",
 ]
 
 
@@ -189,6 +191,36 @@ class JobState(str, Enum):
     FAILED = "FAILED"
 
 
+@dataclass(frozen=True)
+class TrainingFailure:
+    """Structured record of why a training job failed.
+
+    ``stage`` pins the lifecycle step that broke (``"queue"`` — the job
+    never started, e.g. its dataset was deleted; ``"assemble"`` — the
+    configuration could not be turned into an estimator; ``"fit"`` — the
+    estimator rejected the data), ``kind`` is the exception class name,
+    and ``detail`` the human-readable message.
+
+    The record renders and substring-matches like the plain string it
+    replaces, so clients that log or grep ``failure_reason`` keep
+    working while analysis code can now group failures by stage/kind.
+    """
+
+    stage: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+    def __contains__(self, fragment: str) -> bool:
+        return fragment in str(self)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, for result stores and reports."""
+        return {"stage": self.stage, "kind": self.kind, "detail": self.detail}
+
+
 @dataclass
 class ModelHandle:
     """Server-side record of one trained (or failed) model."""
@@ -200,7 +232,7 @@ class ModelHandle:
     params: dict = field(default_factory=dict)
     feature_selection: str | None = None
     estimator: BaseEstimator | None = None
-    failure_reason: str | None = None
+    failure_reason: TrainingFailure | None = None
     metadata: dict = field(default_factory=dict)
 
 
@@ -359,8 +391,11 @@ class MLaaSPlatform:
         dataset = self._datasets.get(handle.dataset_id)
         if dataset is None:
             handle.state = JobState.FAILED
-            handle.failure_reason = (
-                f"dataset {handle.dataset_id} was deleted before training"
+            handle.failure_reason = TrainingFailure(
+                stage="queue",
+                kind="ResourceNotFoundError",
+                detail=f"dataset {handle.dataset_id} was deleted "
+                       "before training",
             )
             return model_id
         self._run_training_job(handle, dataset)
@@ -456,17 +491,29 @@ class MLaaSPlatform:
     # Training
     # ------------------------------------------------------------------
 
+    #: What a training job is allowed to catch: library failures
+    #: (ReproError covers validation, platform and fitting errors),
+    #: bad configuration values (ValueError) and numerical breakdown
+    #: (ArithmeticError, singular matrices).  Programming errors such as
+    #: TypeError or AttributeError still propagate — a real service would
+    #: page on those, not mark the job FAILED.
+    _JOB_ERRORS = (ReproError, ValueError, ArithmeticError, np.linalg.LinAlgError)
+
     def _run_training_job(self, handle: ModelHandle, dataset: _StoredDataset) -> None:
         handle.state = JobState.RUNNING
         started = time.perf_counter()
+        stage = "assemble"
         try:
             estimator = self._assemble(handle, dataset.X, dataset.y)
+            stage = "fit"
             estimator.fit(dataset.X, dataset.y)
             handle.estimator = estimator
             handle.state = JobState.COMPLETED
-        except Exception as exc:  # job surface: any training error fails the job
+        except self._JOB_ERRORS as exc:
             handle.state = JobState.FAILED
-            handle.failure_reason = f"{type(exc).__name__}: {exc}"
+            handle.failure_reason = TrainingFailure(
+                stage=stage, kind=type(exc).__name__, detail=str(exc),
+            )
         finally:
             handle.metadata["training_seconds"] = time.perf_counter() - started
             handle.metadata["n_training_samples"] = int(dataset.X.shape[0])

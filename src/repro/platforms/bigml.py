@@ -67,7 +67,9 @@ def _build_dt(params: dict, random_state: int) -> DecisionTreeClassifier:
 
 
 def _build_bagging(params: dict, random_state: int) -> BaggingClassifier:
-    base = DecisionTreeClassifier(
+    # The template's seed is irrelevant: BaggingClassifier._make_member
+    # reseeds every cloned member from the ensemble's own RNG.
+    base = DecisionTreeClassifier(  # repro: disable=F103 -- template clone is reseeded per member by BaggingClassifier
         max_depth=_depth_from_node_threshold(params["node_threshold"]),
     )
     return BaggingClassifier(

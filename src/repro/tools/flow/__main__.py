@@ -1,0 +1,6 @@
+"""``python -m repro.tools.flow`` — run the flow analyzer."""
+
+from repro.tools.flow.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""Command-line front end: ``repro flow`` / ``python -m repro.tools.flow``.
+
+Same exit-code convention as ``repro lint``:
+
+* ``0`` — clean (suppressed findings allowed), or spec updated;
+* ``1`` — at least one unsuppressed violation;
+* ``2`` — usage error (nonexistent path, no files found).
+
+``--update-spec`` re-extracts the public API surface and rewrites
+``api_spec.json`` instead of diffing against it — the sanctioned way to
+land an intentional API change (the spec diff then shows up in review).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.tools.flow import apispec
+from repro.tools.flow.rules import default_flow_rules
+from repro.tools.lint.reporters import REPORTERS
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "build_parser",
+    "configure_parser",
+    "main",
+    "run_flow_command",
+]
+
+#: Default analysis target: the package's own source tree.
+DEFAULT_TARGET = Path(__file__).resolve().parents[2]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the flow arguments to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include justified suppressions in the report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the flow rule codes and exit",
+    )
+    parser.add_argument(
+        "--spec", type=Path, default=None, metavar="PATH",
+        help="API spec file for F105 (default: the checked-in api_spec.json)",
+    )
+    parser.add_argument(
+        "--update-spec", action="store_true",
+        help="rewrite the API spec from the current tree instead of "
+             "diffing against it",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the standalone parser for ``python -m repro.tools.flow``."""
+    parser = argparse.ArgumentParser(
+        prog="repro flow",
+        description="project-wide data-flow and architecture analyzer "
+                    "for the MLaaS reproduction",
+    )
+    return configure_parser(parser)
+
+
+def _print_rules(out) -> int:
+    for rule in default_flow_rules():
+        print(f"{rule.code}  {rule.name:<20} {rule.description}", file=out)
+    return 0
+
+
+def run_flow_command(args: argparse.Namespace, out=None) -> int:
+    """Execute a parsed flow invocation; returns the exit code."""
+    out = out or sys.stdout
+    if args.list_rules:
+        return _print_rules(out)
+    paths = args.paths or [DEFAULT_TARGET]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+            return 2
+    from repro.tools.flow.runner import build_flow_index, run_flow
+
+    spec_path = args.spec or apispec.DEFAULT_SPEC_PATH
+    if args.update_spec:
+        index = build_flow_index(paths, root=Path.cwd())
+        if not index.modules:
+            print("error: no python files found under the given paths",
+                  file=sys.stderr)
+            return 2
+        apispec.write_spec(apispec.extract_surface(index), spec_path)
+        print(f"wrote API surface of {len(index.modules)} modules to "
+              f"{spec_path}", file=out)
+        return 0
+
+    result = run_flow(paths, root=Path.cwd(), spec_path=spec_path)
+    if result.n_files == 0:
+        print("error: no python files found under the given paths",
+              file=sys.stderr)
+        return 2
+    reporter = REPORTERS[args.format]
+    print(reporter(result, show_suppressed=args.show_suppressed), file=out)
+    return result.exit_code
+
+
+def main(argv=None, out=None) -> int:
+    """Entry point for ``python -m repro.tools.flow``."""
+    args = build_parser().parse_args(argv)
+    return run_flow_command(args, out=out)

@@ -1,0 +1,155 @@
+"""Driver for one ``repro flow`` run.
+
+Reuses the lint engine end to end — file discovery, parsing, suppression
+comments, :class:`~repro.tools.lint.engine.LintResult` — and adds the one
+thing flow rules need that lint rules don't: the shared
+:class:`~repro.tools.flow.graph.FlowIndex` built once over the whole
+project, plus *context modules* (benchmarks, examples, tests).  Context
+modules are parsed so the dead-code rule can see what they reference, but
+they are never themselves reported on — their hygiene is ``repro lint``'s
+job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+# Importing the lint rules fills RULE_REGISTRY, so flow runs recognize
+# R-code suppressions as known companion codes.
+import repro.tools.lint.rules  # noqa: F401  (registration side effect)
+from repro.tools.flow.graph import FlowIndex, build_index
+from repro.tools.flow.rules import default_flow_rules
+from repro.tools.lint.engine import (
+    ENGINE_CODE,
+    RULE_REGISTRY,
+    LintResult,
+    Project,
+    Violation,
+    apply_suppressions,
+    iter_python_files,
+    load_module,
+    suppression_violations,
+)
+
+__all__ = [
+    "CONTEXT_DIR_NAMES",
+    "build_flow_index",
+    "detect_context_paths",
+    "run_flow",
+]
+
+#: Sibling directories of the analyzed package that count as liveness
+#: roots for F104 (they consume the API without being part of it).
+CONTEXT_DIR_NAMES = ("benchmarks", "examples", "tests")
+
+
+def detect_context_paths(paths: Sequence) -> list:
+    """Locate benchmarks/examples/tests next to the analyzed tree.
+
+    Walks up from the first analyzed path to the enclosing project root
+    (marked by ``pyproject.toml``) and returns whichever of
+    :data:`CONTEXT_DIR_NAMES` exist there.  Returns ``[]`` when no project
+    root is found, so fixture trees analyzed in isolation get no implicit
+    context.
+    """
+    for raw in paths:
+        start = Path(raw).resolve()
+        if start.is_file():
+            start = start.parent
+        for candidate in (start, *start.parents):
+            if (candidate / "pyproject.toml").is_file():
+                return [
+                    candidate / name
+                    for name in CONTEXT_DIR_NAMES
+                    if (candidate / name).is_dir()
+                ]
+    return []
+
+
+def _load_project(paths: Sequence, root: Path | None) -> tuple:
+    """Parse ``paths`` into a Project; returns (project, violations, n)."""
+    project = Project()
+    violations: list[Violation] = []
+    n_files = 0
+    for path in iter_python_files(paths):
+        n_files += 1
+        module, parse_violations = load_module(path, root=root)
+        violations.extend(parse_violations)
+        if module is not None:
+            project.modules.append(module)
+    return project, violations, n_files
+
+
+def build_flow_index(
+    paths: Sequence,
+    root: Path | None = None,
+    context_paths: Sequence | None = None,
+) -> FlowIndex:
+    """Parse ``paths`` (+ context) and build the shared flow index.
+
+    ``context_paths=None`` auto-detects sibling benchmarks/examples/tests
+    via :func:`detect_context_paths`; pass ``()`` to analyze in isolation.
+    """
+    project, _, _ = _load_project(paths, root)
+    if context_paths is None:
+        context_paths = detect_context_paths(paths)
+    analyzed = {module.path.resolve() for module in project.modules}
+    context_modules = []
+    for path in iter_python_files(context_paths):
+        if path.resolve() in analyzed:
+            continue
+        module, _ = load_module(path, root=root)
+        if module is not None:
+            context_modules.append(module)
+    return build_index(project, context_modules=context_modules)
+
+
+def run_flow(
+    paths: Sequence,
+    rules: Sequence | None = None,
+    root: Path | None = None,
+    spec_path: Path | None = None,
+    context_paths: Sequence | None = None,
+) -> LintResult:
+    """Run the flow rules over ``paths``; mirrors ``run_lint``'s contract.
+
+    ``rules=None`` runs every F-rule; pass a subset (already bound to an
+    index, or not — unbound rules get the shared index injected) to focus
+    a run.  ``spec_path`` overrides where F105 reads ``api_spec.json``.
+    """
+    project, violations, n_files = _load_project(paths, root)
+    if context_paths is None:
+        context_paths = detect_context_paths(paths)
+    analyzed = {module.path.resolve() for module in project.modules}
+    context_modules = []
+    for path in iter_python_files(context_paths):
+        if path.resolve() in analyzed:
+            continue
+        module, _ = load_module(path, root=root)
+        if module is not None:
+            context_modules.append(module)
+    index = build_index(project, context_modules=context_modules)
+
+    if rules is None:
+        rules = default_flow_rules(index, spec_path=spec_path)
+    for rule in rules:
+        if getattr(rule, "index", None) is None:
+            rule.index = index
+
+    known_codes = (
+        {rule.code for rule in rules}
+        | set(RULE_REGISTRY)
+        | {ENGINE_CODE}
+    )
+    for module in project.modules:
+        violations.extend(suppression_violations(module, known_codes))
+        for rule in rules:
+            violations.extend(rule.check_module(module, project))
+    for rule in rules:
+        violations.extend(rule.check_project(project))
+
+    modules_by_path = {m.relpath: m for m in project.modules}
+    violations = apply_suppressions(violations, modules_by_path)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return LintResult(violations=violations, n_files=n_files)

@@ -85,9 +85,9 @@ def lint_source(
     import ast
 
     from repro.tools.lint.engine import (
-        _apply_suppressions,
-        _suppression_violations,
+        apply_suppressions,
         parse_suppressions,
+        suppression_violations,
     )
 
     if rules is None:
@@ -108,10 +108,10 @@ def lint_source(
         suppressions=parse_suppressions(source),
     )
     project = Project(modules=[module])
-    violations.extend(_suppression_violations(module, known_codes))
+    violations.extend(suppression_violations(module, known_codes))
     for rule in rules:
         violations.extend(rule.check_module(module, project))
         violations.extend(rule.check_project(project))
-    violations = _apply_suppressions(violations, {module.relpath: module})
+    violations = apply_suppressions(violations, {module.relpath: module})
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return LintResult(violations=violations, n_files=1)

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 __all__ = [
+    "COMPANION_CODES",
     "ENGINE_CODE",
     "LintResult",
     "ModuleInfo",
@@ -40,16 +41,24 @@ __all__ = [
     "RULE_REGISTRY",
     "Suppression",
     "Violation",
+    "apply_suppressions",
     "iter_python_files",
     "load_module",
     "parse_suppressions",
     "register_rule",
     "run_lint",
+    "suppression_violations",
 ]
 
 #: Code reserved for engine-level problems (parse failures, malformed or
 #: unknown suppressions).  Never suppressible.
 ENGINE_CODE = "R000"
+
+#: Codes owned by companion analyzers sharing the ``# repro: disable=``
+#: comment syntax in the same source tree.  ``repro lint`` must not report
+#: a justified ``repro flow`` suppression as an unknown code (and vice
+#: versa: the flow runner includes the R-codes in its known set).
+COMPANION_CODES = frozenset({"F101", "F102", "F103", "F104", "F105"})
 
 _SUPPRESSION_RE = re.compile(
     r"#\s*repro:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
@@ -294,7 +303,13 @@ def load_module(path: Path, root: Path | None = None) -> tuple:
     return module, []
 
 
-def _suppression_violations(module: ModuleInfo, known_codes: set) -> Iterator[Violation]:
+def suppression_violations(module: ModuleInfo, known_codes: set) -> Iterator[Violation]:
+    """Engine-level findings about a module's suppression comments.
+
+    Shared by ``repro lint`` and ``repro flow``: a suppression without a
+    reason, targeting :data:`ENGINE_CODE`, or naming a code that neither
+    the current run nor a companion analyzer owns is itself a violation.
+    """
     for suppression in module.suppressions:
         if not suppression.reason:
             yield Violation(
@@ -314,7 +329,7 @@ def _suppression_violations(module: ModuleInfo, known_codes: set) -> Iterator[Vi
                     path=module.relpath,
                     line=suppression.line,
                 )
-            elif code not in known_codes:
+            elif code not in known_codes and code not in COMPANION_CODES:
                 yield Violation(
                     code=ENGINE_CODE,
                     message=f"suppression names unknown rule code {code!r}",
@@ -323,7 +338,7 @@ def _suppression_violations(module: ModuleInfo, known_codes: set) -> Iterator[Vi
                 )
 
 
-def _apply_suppressions(violations: list, modules: dict) -> list:
+def apply_suppressions(violations: list, modules: dict) -> list:
     """Mark violations covered by a justified suppression comment."""
     resolved = []
     for violation in violations:
@@ -388,13 +403,13 @@ def run_lint(
             project.modules.append(module)
 
     for module in project.modules:
-        violations.extend(_suppression_violations(module, known_codes))
+        violations.extend(suppression_violations(module, known_codes))
         for rule in rules:
             violations.extend(rule.check_module(module, project))
     for rule in rules:
         violations.extend(rule.check_project(project))
 
     modules_by_path = {m.relpath: m for m in project.modules}
-    violations = _apply_suppressions(violations, modules_by_path)
+    violations = apply_suppressions(violations, modules_by_path)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return LintResult(violations=violations, n_files=n_files)

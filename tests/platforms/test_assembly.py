@@ -1,0 +1,76 @@
+"""Direct unit tests for the shared pipeline-assembly helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UnsupportedControlError
+from repro.learn.feature_selection import FisherLDATransform, SelectKBest
+from repro.learn.linear import LogisticRegression
+from repro.learn.pipeline import Pipeline
+from repro.learn.preprocessing import StandardScaler
+from repro.platforms._assembly import (
+    LOCAL_FEATURE_SELECTORS,
+    MICROSOFT_FEATURE_SELECTORS,
+    build_feature_step,
+    wrap_with_feature_step,
+)
+
+
+def test_registries_encode_table1_feat_counts():
+    # Table 1: both Microsoft and the local library expose 8 FEAT choices.
+    assert len(MICROSOFT_FEATURE_SELECTORS) == 8
+    assert len(LOCAL_FEATURE_SELECTORS) == 8
+
+
+def test_build_feature_step_instantiates_by_name():
+    step = build_feature_step("fisher_lda", MICROSOFT_FEATURE_SELECTORS)
+    assert isinstance(step, FisherLDATransform)
+    step = build_feature_step("filter_pearson", MICROSOFT_FEATURE_SELECTORS)
+    assert isinstance(step, SelectKBest)
+    assert step.scorer == "pearson"
+    step = build_feature_step("gaussian_norm", LOCAL_FEATURE_SELECTORS)
+    assert isinstance(step, StandardScaler)
+
+
+def test_build_feature_step_returns_fresh_instances():
+    first = build_feature_step("filter_chi", MICROSOFT_FEATURE_SELECTORS)
+    second = build_feature_step("filter_chi", MICROSOFT_FEATURE_SELECTORS)
+    assert first is not second
+
+
+def test_build_feature_step_unknown_name_lists_choices():
+    with pytest.raises(UnsupportedControlError) as excinfo:
+        build_feature_step("no_such_selector", LOCAL_FEATURE_SELECTORS)
+    message = str(excinfo.value)
+    assert "no_such_selector" in message
+    assert "l1_normalization" in message  # available choices are listed
+
+
+def test_wrap_without_selection_returns_estimator_unchanged():
+    estimator = LogisticRegression()
+    wrapped = wrap_with_feature_step(estimator, None, LOCAL_FEATURE_SELECTORS)
+    assert wrapped is estimator
+
+
+def test_wrap_with_selection_builds_two_step_pipeline():
+    estimator = LogisticRegression()
+    wrapped = wrap_with_feature_step(
+        estimator, "standard_scaler", LOCAL_FEATURE_SELECTORS
+    )
+    assert isinstance(wrapped, Pipeline)
+    names = [name for name, _ in wrapped.steps]
+    assert names == ["features", "classifier"]
+    assert wrapped.steps[1][1] is estimator
+
+
+def test_every_registry_factory_builds_a_working_step(linear_data):
+    X_train, y_train, _, _ = linear_data
+    for registry in (MICROSOFT_FEATURE_SELECTORS, LOCAL_FEATURE_SELECTORS):
+        for name in registry:
+            pipeline = wrap_with_feature_step(
+                LogisticRegression(random_state=0), name, registry
+            )
+            pipeline.fit(X_train, y_train)
+            predictions = pipeline.predict(X_train)
+            assert predictions.shape == y_train.shape
+            assert set(np.unique(predictions)) <= set(np.unique(y_train))

@@ -95,3 +95,62 @@ def test_selection_is_fallible_on_tiny_noisy_probes():
         ).select(X, y)
         decisions.add(outcome.chosen_family)
     assert len(decisions) == 2  # both families chosen across seeds
+
+
+# ---------------------------------------------------------------------------
+# Direct unit tests for the internal probe/scoring helpers
+# ---------------------------------------------------------------------------
+
+
+def test_probe_indices_stratified_and_bounded():
+    rng = np.random.default_rng(0)
+    y = np.array([0] * 900 + [1] * 100)
+    selector = make_selector(probe_size=100)
+    probe = selector._probe_indices(y, rng)
+    assert probe.size <= 120  # near the requested size
+    # Both classes survive the subsample, minority included.
+    assert set(np.unique(y[probe])) == {0, 1}
+    assert np.count_nonzero(y[probe] == 1) >= 2
+    # Indices are sorted, unique and in range.
+    assert np.all(np.diff(probe) > 0)
+    assert probe.min() >= 0 and probe.max() < y.size
+
+
+def test_probe_indices_identity_when_small():
+    rng = np.random.default_rng(0)
+    y = np.array([0, 1] * 20)
+    probe = make_selector(probe_size=500)._probe_indices(y, rng)
+    assert np.array_equal(probe, np.arange(40))
+
+
+def test_cv_score_degenerate_probe_falls_back_to_train_fit():
+    # With a 2-sample minority class no 2-fold stratified split exists;
+    # the probe falls back to a training-fit comparison instead of failing.
+    X, y = make_classification(n_samples=40, class_sep=3.0, random_state=8)
+    y = y.copy()
+    y[:] = 0
+    y[:2] = 1
+    rng = np.random.default_rng(0)
+    selector = make_selector(n_folds=3)
+    score = selector._cv_score(LogisticRegression(random_state=0), X, y, rng)
+    assert 0.0 <= score <= 1.0
+
+
+def test_cv_score_unfittable_candidate_scores_zero():
+    from repro.exceptions import ValidationError
+    from repro.learn.base import BaseEstimator, ClassifierMixin
+
+    class Unfittable(BaseEstimator, ClassifierMixin):
+        def __init__(self, random_state=None):
+            self.random_state = random_state
+
+        def fit(self, X, y):
+            raise ValidationError("cannot fit anything")
+
+        def predict(self, X):  # pragma: no cover - fit always raises
+            return np.zeros(len(X))
+
+    X, y = make_classification(n_samples=120, class_sep=2.0, random_state=9)
+    rng = np.random.default_rng(0)
+    score = make_selector()._cv_score(Unfittable(), X, y, rng)
+    assert score == 0.0

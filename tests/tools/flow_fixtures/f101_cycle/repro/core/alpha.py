@@ -1,0 +1,7 @@
+"""Fixture: half of a deliberate import-time cycle (F101)."""
+
+from repro.core import beta
+
+
+def ping():
+    return beta.pong()

@@ -1,0 +1,7 @@
+"""Fixture: the other half of the import-time cycle (F101)."""
+
+from repro.core import alpha
+
+
+def pong():
+    return alpha.ping()

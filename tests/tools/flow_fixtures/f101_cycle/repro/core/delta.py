@@ -1,0 +1,11 @@
+"""Fixture: top-level import of gamma; the reverse edge is deferred."""
+
+from repro.core import gamma
+
+
+def answer():
+    return 42
+
+
+def call_back():
+    return gamma.lazy_call

@@ -1,0 +1,11 @@
+"""Fixture: a would-be cycle broken by a deferred import (NOT an F101).
+
+``delta`` imports this module at the top level; this module only imports
+``delta`` inside a function, so no cycle exists at import time.
+"""
+
+
+def lazy_call():
+    from repro.core import delta
+
+    return delta.answer()

@@ -1,0 +1,5 @@
+"""Fixture: a measurement-layer module (target of an upward import)."""
+
+
+def run_study():
+    return "measured"

@@ -1,0 +1,11 @@
+"""Fixture: a learn-layer module reaching UP into the measurement layer.
+
+Deliberate F101 violation: ``repro.learn`` (layer "learn") must never
+import ``repro.core`` (layer "measurement").
+"""
+
+from repro.core.runner0 import run_study
+
+
+def train_and_measure():
+    return run_study()

@@ -1,0 +1,30 @@
+"""Fixture: deliberate test-data leakage, direct and interprocedural (F102)."""
+
+
+def clean_evaluate(X, y, estimator, train_test_split):
+    X_train, X_test, y_train, y_test = train_test_split(X, y, random_state=0)
+    estimator.fit(X_train, y_train)
+    return estimator.predict(X_test)
+
+
+def leaky_evaluate(X, y, estimator, train_test_split):
+    X_train, X_test, y_train, y_test = train_test_split(X, y, random_state=0)
+    estimator.fit(X_test, y_test)  # deliberate leak: trains on the test fold
+    return estimator
+
+
+def _probe_matrix(X, y, train_test_split):
+    X_train, X_test, y_train, y_test = train_test_split(X, y, random_state=0)
+    return X_test
+
+
+def _fit_quietly(model, data):
+    model.fit(data)
+
+
+def leak_through_helpers(X, y, scaler, model, train_test_split):
+    probe = _probe_matrix(X, y, train_test_split)
+    scaler.fit_transform(probe)  # leak: helper returned held-out data
+    X_train, X_test, y_train, y_test = train_test_split(X, y, random_state=0)
+    _fit_quietly(model, X_test)  # leak: helper fits whatever it is handed
+    return scaler

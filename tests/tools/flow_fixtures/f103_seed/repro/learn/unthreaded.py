@@ -1,0 +1,31 @@
+"""Fixture: a seeded caller dropping its seed on the floor (F103)."""
+
+
+class Shuffler:
+    def __init__(self, n_rounds=3, random_state=None):
+        self.n_rounds = n_rounds
+        self.random_state = random_state
+
+
+def sample_rows(data, random_state=None):
+    return data
+
+
+def build_pipeline(random_state=0):
+    shuffler = Shuffler(n_rounds=5)  # deliberate: seed not threaded
+    rows = sample_rows([1, 2, 3])  # deliberate: seed not threaded
+    return shuffler, rows
+
+
+def build_pipeline_correctly(random_state=0):
+    shuffler = Shuffler(n_rounds=5, random_state=random_state)
+    rows = sample_rows([1, 2, 3], random_state=random_state)
+    return shuffler, rows
+
+
+__all__ = [
+    "Shuffler",
+    "build_pipeline",
+    "build_pipeline_correctly",
+    "sample_rows",
+]

@@ -1,0 +1,23 @@
+"""Fixture: module-level symbols nothing can reach (F104)."""
+
+__all__ = ["used_entry"]
+
+LIVE_CONSTANT = 10
+
+ORPHAN_CONSTANT = 7  # deliberate dead code
+
+
+def used_entry():
+    return _live_helper() + LIVE_CONSTANT
+
+
+def _live_helper():
+    return 1
+
+
+def orphan_function():  # deliberate dead code
+    return 2
+
+
+class OrphanClass:  # deliberate dead code
+    pass

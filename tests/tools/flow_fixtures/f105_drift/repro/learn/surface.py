@@ -1,0 +1,7 @@
+"""Fixture: a public module whose surface drifted from its spec (F105)."""
+
+__all__ = ["predict_scores"]
+
+
+def predict_scores(X, threshold=0.5):
+    return [threshold for _ in X]

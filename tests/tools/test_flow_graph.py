@@ -1,0 +1,127 @@
+"""Unit tests for the shared flow indexes (symbol/import/call graphs)."""
+
+import ast
+from pathlib import Path
+
+from repro.tools.flow.graph import build_index, dotted_path, import_bindings
+from repro.tools.lint.engine import Project, load_module
+
+
+def index_from(tmp_path, files):
+    """Write ``{relpath: source}`` under tmp_path and index the tree."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    project = Project()
+    for relpath in sorted(files):
+        module, errors = load_module(tmp_path / relpath, root=tmp_path)
+        assert errors == []
+        project.modules.append(module)
+    return build_index(project)
+
+
+def test_dotted_path():
+    node = ast.parse("a.b.c", mode="eval").body
+    assert dotted_path(node) == ("a", "b", "c")
+    assert dotted_path(ast.parse("a", mode="eval").body) == ("a",)
+    assert dotted_path(ast.parse("f().x", mode="eval").body) is None
+
+
+def test_import_bindings_resolve_relative_imports(tmp_path):
+    index = index_from(tmp_path, {
+        "repro/pkg/__init__.py": "",
+        "repro/pkg/util.py": "VALUE = 1\n",
+        "repro/pkg/mod.py": "from .util import VALUE\nfrom . import util\n",
+    })
+    module = index.modules["repro.pkg.mod"]
+    bindings = import_bindings(module)
+    assert bindings["VALUE"].module == "repro.pkg.util"
+    assert bindings["VALUE"].symbol == "VALUE"
+    assert bindings["util"].module == "repro.pkg"
+    assert bindings["util"].symbol == "util"
+
+
+def test_resolve_symbol_chases_reexport_chains(tmp_path):
+    index = index_from(tmp_path, {
+        "repro/deep.py": "def origin():\n    return 1\n",
+        "repro/middle.py": "from repro.deep import origin\n",
+        "repro/top.py": "from repro.middle import origin\n",
+    })
+    resolved = index.resolve_symbol("repro.top", "origin")
+    assert resolved is not None
+    assert resolved.module_name == "repro.deep"
+    assert resolved.kind == "function"
+
+
+def test_class_init_chases_base_classes(tmp_path):
+    index = index_from(tmp_path, {
+        "repro/base.py": (
+            "class Base:\n"
+            "    def __init__(self, random_state=None):\n"
+            "        self.random_state = random_state\n"
+        ),
+        "repro/child.py": (
+            "from repro.base import Base\n"
+            "class Child(Base):\n"
+            "    pass\n"
+        ),
+    })
+    init = index.class_init("repro.child", "Child")
+    assert init is not None
+    assert init.module_name == "repro.base"
+    assert "random_state" in init.all_param_names()
+
+
+def test_import_edges_mark_deferred_function_scoped_imports(tmp_path):
+    index = index_from(tmp_path, {
+        "repro/a.py": "import repro.b\n",
+        "repro/b.py": (
+            "def late():\n"
+            "    import repro.a\n"
+            "    return repro.a\n"
+        ),
+    })
+    edges = {(e.source, e.target): e.deferred for e in index.import_edges}
+    assert edges[("repro.a", "repro.b")] is False
+    assert edges[("repro.b", "repro.a")] is True
+
+
+def test_call_graph_resolves_local_self_and_constructor_calls(tmp_path):
+    index = index_from(tmp_path, {
+        "repro/calls.py": (
+            "class Widget:\n"
+            "    def __init__(self, size=1):\n"
+            "        self.size = size\n"
+            "    def helper(self):\n"
+            "        return self.size\n"
+            "    def run(self):\n"
+            "        return self.helper()\n"
+            "def free():\n"
+            "    return 0\n"
+            "def driver():\n"
+            "    w = Widget(size=2)\n"
+            "    return free() + w.run()\n"
+        ),
+    })
+    driver_sites = index.calls[("repro.calls", "driver")]
+    targets = {site.target for site in driver_sites if site.target}
+    assert ("repro.calls", "Widget.__init__") in targets
+    assert ("repro.calls", "free") in targets
+    constructor = next(s for s in driver_sites
+                       if s.target == ("repro.calls", "Widget.__init__"))
+    assert constructor.target_class == "Widget"
+    run_sites = index.calls[("repro.calls", "Widget.run")]
+    assert [s.target for s in run_sites] == [("repro.calls", "Widget.helper")]
+
+
+def test_module_body_calls_live_in_pseudo_scope(tmp_path):
+    index = index_from(tmp_path, {
+        "repro/body.py": (
+            "def build():\n"
+            "    return 3\n"
+            "SINGLETON = build()\n"
+        ),
+    })
+    body_sites = index.calls[("repro.body", "")]
+    assert [s.target for s in body_sites] == [("repro.body", "build")]
