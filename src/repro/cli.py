@@ -7,6 +7,9 @@ Gives downstream users the common study operations without writing code:
 * ``baseline``  — run the zero-control protocol and print Table 3(a).
 * ``optimized`` — run the full-sweep protocol and print Fig 4 / Table 3(b).
 * ``boundary``  — probe a platform's decision boundary on a 2-D dataset.
+* ``campaign``  — run a protocol through the concurrent campaign
+  scheduler (:mod:`repro.service`): worker pool, retries, telemetry,
+  checkpoint/resume, optional serial-equality verification.
 * ``lint``      — check the source tree against the reproduction
   invariants (determinism, estimator contract, Table 1 conformance,
   exception hygiene, export sync); see :mod:`repro.tools.lint`.
@@ -61,6 +64,29 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--size-cap", type=int, default=250,
                          help="per-dataset sample cap (default 250)")
         cmd.add_argument("--seed", type=int, default=1)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a measurement campaign on the concurrent scheduler",
+    )
+    campaign.add_argument("--protocol", choices=["baseline", "optimized"],
+                          default="baseline")
+    campaign.add_argument("--workers", type=int, default=4,
+                          help="worker threads (default 4)")
+    campaign.add_argument("--datasets", type=int, default=6,
+                          help="corpus subset size (default 6)")
+    campaign.add_argument("--size-cap", type=int, default=200,
+                          help="per-dataset sample cap (default 200)")
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--checkpoint", default=None,
+                          help="ResultStore JSON checkpoint path")
+    campaign.add_argument("--resume", default=None,
+                          help="checkpoint to resume from")
+    campaign.add_argument("--telemetry-out", default=None,
+                          help="write the telemetry JSON snapshot here")
+    campaign.add_argument("--compare-serial", action="store_true",
+                          help="also run the serial sweep and verify the "
+                               "campaign produced identical results")
 
     boundary = sub.add_parser(
         "boundary", help="probe a platform's decision boundary"
@@ -136,6 +162,68 @@ def _cmd_study(args, optimized: bool, out) -> int:
     return 0
 
 
+def _cmd_campaign(args, out) -> int:
+    import time
+
+    from repro.core.results import ResultStore
+
+    scale = StudyScale(
+        max_datasets=args.datasets, size_cap=args.size_cap,
+        feature_cap=12, para_grid="default",
+    )
+    study = MLaaSStudy(scale=scale, random_state=args.seed,
+                       workers=max(1, args.workers))
+    resume_from = ResultStore.load(args.resume) if args.resume else None
+    started = time.perf_counter()
+    store = study.run_campaign(
+        protocol=args.protocol,
+        resume_from=resume_from,
+        checkpoint_path=args.checkpoint,
+    )
+    campaign_seconds = time.perf_counter() - started
+
+    summaries = platform_summary(store)
+    print(render_table(
+        ["platform", "avg fried.", "f-score", "accuracy", "precision", "recall"],
+        [
+            [s.platform, f"{s.avg_friedman:.1f}"]
+            + [f"{s.avg[m]:.3f}" for m in
+               ("f_score", "accuracy", "precision", "recall")]
+            for s in summaries
+        ],
+        title=f"Campaign ({args.protocol}, workers={args.workers}): "
+              f"{len(store)} measurements in {campaign_seconds:.2f}s",
+    ), file=out)
+
+    telemetry = study.telemetry
+    snapshot = telemetry.snapshot()
+    counters = snapshot["counters"]
+    print(f"\ntelemetry: {counters.get('requests_total', 0)} requests, "
+          f"{counters.get('retries_total', 0)} retries, "
+          f"{counters.get('jobs_resumed', 0)} resumed, "
+          f"{counters.get('jobs_failed', 0)} failed jobs", file=out)
+    if args.telemetry_out:
+        telemetry.save(args.telemetry_out)
+        print(f"telemetry snapshot written to {args.telemetry_out}", file=out)
+
+    if args.compare_serial:
+        serial_study = MLaaSStudy(scale=scale, random_state=args.seed)
+        started = time.perf_counter()
+        serial_store = (serial_study.run_optimized()
+                        if args.protocol == "optimized"
+                        else serial_study.run_baseline())
+        serial_seconds = time.perf_counter() - started
+        matches = list(serial_store) == list(store)
+        print(f"serial sweep: {len(serial_store)} measurements in "
+              f"{serial_seconds:.2f}s — campaign results "
+              f"{'IDENTICAL' if matches else 'DIFFER'}", file=out)
+        if not matches:
+            print("error: campaign results diverge from the serial sweep",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_boundary(args, out) -> int:
     dataset = load_dataset(args.dataset, size_cap=500)
     if dataset.X.shape[1] != 2:
@@ -167,6 +255,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_study(args, optimized=False, out=out)
     if args.command == "optimized":
         return _cmd_study(args, optimized=True, out=out)
+    if args.command == "campaign":
+        return _cmd_campaign(args, out=out)
     if args.command == "boundary":
         return _cmd_boundary(args, out=out)
     if args.command == "lint":

@@ -13,7 +13,10 @@ produces the result stores consumed by :mod:`repro.analysis`:
 
 A :class:`StudyScale` preset bounds corpus size and grid resolution so
 the same code runs as a quick test, a laptop bench, or a paper-scale
-sweep.
+sweep.  With ``workers > 1`` every protocol runs through the
+:mod:`repro.service` campaign scheduler — concurrent across platforms,
+with retries and telemetry — and still produces a result store
+bit-identical to the serial path (the scheduler's determinism contract).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.core.controls import CONTROL_DIMENSIONS
 from repro.core.results import ResultStore
 from repro.core.runner import ExperimentRunner
 from repro.datasets.corpus import Dataset, load_corpus
+from repro.exceptions import ValidationError
 from repro.platforms import ALL_PLATFORMS
 from repro.platforms.base import MLaaSPlatform
 
@@ -85,6 +89,17 @@ class MLaaSStudy:
         Defaults to all seven platforms in complexity order.
     random_state : int
         Seed shared by corpus subsetting and platform internals.
+    workers : int
+        Worker threads for the measurement protocols.  ``1`` (default)
+        keeps the serial sweep; ``> 1`` routes every protocol through
+        :class:`repro.service.CampaignScheduler`, which guarantees the
+        result store is identical to the serial path.
+    clock : callable or None
+        Optional shared time source with the :class:`VirtualClock`
+        interface.  When given it is passed to every platform the study
+        constructs (driving their rolling-minute rate limiters) and to
+        the campaign scheduler's backoff, so waits and quota windows
+        move together.
     """
 
     def __init__(
@@ -92,16 +107,28 @@ class MLaaSStudy:
         scale: StudyScale | None = None,
         platforms=None,
         random_state: int = 0,
+        workers: int = 1,
+        clock=None,
     ):
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
         self.scale = scale or StudyScale.small()
         self.random_state = random_state
+        self.workers = int(workers)
+        self.clock = clock
+        platform_kwargs = {"random_state": random_state}
+        if clock is not None:
+            platform_kwargs["clock"] = clock
         platform_sources = platforms if platforms is not None else ALL_PLATFORMS
         self.platforms: list[MLaaSPlatform] = [
             source if isinstance(source, MLaaSPlatform)
-            else source(random_state=random_state)
+            else source(**platform_kwargs)
             for source in platform_sources
         ]
         self.runner = ExperimentRunner(split_seed=random_state + 7)
+        #: Telemetry of the most recent campaign run (None before any,
+        #: and always None on the pure serial path).
+        self.telemetry = None
         self._corpus: list[Dataset] | None = None
 
     @property
@@ -125,43 +152,108 @@ class MLaaSStudy:
 
     # -- protocols ---------------------------------------------------------
 
-    def run_baseline(self) -> ResultStore:
-        """Zero-control measurement of every platform on every dataset."""
-        store = ResultStore()
-        for platform in self.platforms:
-            configuration = baseline_configuration(platform)
-            store.extend(
-                self.runner.sweep(platform, self.corpus, [configuration])
-            )
-        return store
+    def protocol_plan(self, protocol: str, platforms: list[str] | None = None) -> list:
+        """The (platform, configurations) plan of a measurement protocol.
 
-    def run_optimized(self, platforms: list[str] | None = None) -> ResultStore:
-        """Full configuration sweep (the 'optimized' protocol, §4.1)."""
-        store = ResultStore()
+        ``protocol`` is ``"baseline"``, ``"optimized"`` or a control
+        dimension (``"FEAT"``/``"CLF"``/``"PARA"``); platforms with an
+        empty configuration list are excluded.  The plan order is the
+        serial sweep order, which the campaign scheduler preserves.
+        """
+        plan: list = []
         for platform in self.platforms:
             if platforms is not None and platform.name not in platforms:
                 continue
-            configurations = list(enumerate_configurations(
-                platform, para_grid=self.scale.para_grid
-            ))
+            if protocol == "baseline":
+                configurations = [baseline_configuration(platform)]
+            elif protocol == "optimized":
+                configurations = list(enumerate_configurations(
+                    platform, para_grid=self.scale.para_grid
+                ))
+            elif protocol in CONTROL_DIMENSIONS:
+                configurations = per_control_configurations(
+                    platform, protocol, para_grid=self.scale.para_grid
+                )
+            else:
+                raise ValidationError(
+                    f"unknown protocol {protocol!r}; use 'baseline', "
+                    f"'optimized' or one of {list(CONTROL_DIMENSIONS)}"
+                )
+            if configurations:
+                plan.append((platform, configurations))
+        return plan
+
+    def _run_plan(self, plan: list) -> ResultStore:
+        """Execute a plan serially, or as a campaign when ``workers > 1``."""
+        if self.workers > 1:
+            return self.run_campaign_plan(plan)
+        store = ResultStore()
+        for platform, configurations in plan:
             store.extend(
                 self.runner.sweep(platform, self.corpus, configurations)
             )
         return store
 
+    def run_campaign_plan(
+        self,
+        plan: list,
+        resume_from: ResultStore | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int = 200,
+    ) -> ResultStore:
+        """Run a plan through the concurrent campaign scheduler.
+
+        Results are identical to the serial path regardless of
+        ``workers``; the scheduler's :class:`~repro.service.Telemetry`
+        is kept on ``self.telemetry`` for inspection/export.
+        """
+        # Imported here to keep repro.core importable without the service
+        # layer at import time (service imports core.runner/core.results).
+        from repro.service import CampaignScheduler
+
+        scheduler = CampaignScheduler(
+            workers=self.workers, clock=self.clock, seed=self.random_state,
+        )
+        store = scheduler.run(
+            self.runner,
+            [platform for platform, _ in plan],
+            self.corpus,
+            {platform.name: configurations
+             for platform, configurations in plan},
+            resume_from=resume_from,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+        self.telemetry = scheduler.telemetry
+        return store
+
+    def run_campaign(
+        self,
+        protocol: str = "baseline",
+        platforms: list[str] | None = None,
+        resume_from: ResultStore | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int = 200,
+    ) -> ResultStore:
+        """Run a named protocol as a checkpointable concurrent campaign."""
+        return self.run_campaign_plan(
+            self.protocol_plan(protocol, platforms=platforms),
+            resume_from=resume_from,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+
+    def run_baseline(self) -> ResultStore:
+        """Zero-control measurement of every platform on every dataset."""
+        return self._run_plan(self.protocol_plan("baseline"))
+
+    def run_optimized(self, platforms: list[str] | None = None) -> ResultStore:
+        """Full configuration sweep (the 'optimized' protocol, §4.1)."""
+        return self._run_plan(self.protocol_plan("optimized", platforms=platforms))
+
     def run_per_control(self, dimension: str) -> ResultStore:
         """Tune one control dimension, others at baseline (Figs 5, 7)."""
-        store = ResultStore()
-        for platform in self.platforms:
-            configurations = per_control_configurations(
-                platform, dimension, para_grid=self.scale.para_grid
-            )
-            if not configurations:
-                continue  # platform does not expose this control
-            store.extend(
-                self.runner.sweep(platform, self.corpus, configurations)
-            )
-        return store
+        return self._run_plan(self.protocol_plan(dimension))
 
     def run_all_controls(self) -> dict[str, ResultStore]:
         """Per-control sweeps for all three dimensions."""

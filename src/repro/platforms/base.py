@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 import time
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Mapping, Sequence
@@ -280,8 +281,9 @@ class MLaaSPlatform:
         #: training happens on ``process_one_job``/``await_model`` — the
         #: poll-based shape of the real web APIs the paper scripted.
         self.synchronous = synchronous
-        #: Optional API quota: mutating requests allowed per rolling
-        #: minute.  The paper excluded some vendors for "posing strict
+        #: Optional API quota: requests allowed per rolling minute.
+        #: Mutations *and* polls count — real APIs meter status checks
+        #: too.  The paper excluded some vendors for "posing strict
         #: rate limit" (§8); enabling this reproduces that obstacle.
         self.rate_limit_per_minute = rate_limit_per_minute
         #: Injectable time source (seconds); monotonic clock by default.
@@ -289,7 +291,7 @@ class MLaaSPlatform:
         self._request_times: list[float] = []
         self._datasets: dict[str, _StoredDataset] = {}
         self._models: dict[str, ModelHandle] = {}
-        self._job_queue: list[str] = []
+        self._job_queue: deque[str] = deque()
         self._counter = itertools.count(1)
 
     def _consume_request(self) -> None:
@@ -327,6 +329,7 @@ class MLaaSPlatform:
 
     def delete_dataset(self, dataset_id: str) -> None:
         """Remove an uploaded dataset."""
+        self._consume_request()
         if dataset_id not in self._datasets:
             raise ResourceNotFoundError(f"no dataset {dataset_id!r}")
         del self._datasets[dataset_id]
@@ -386,7 +389,7 @@ class MLaaSPlatform:
         """
         if not self._job_queue:
             return None
-        model_id = self._job_queue.pop(0)
+        model_id = self._job_queue.popleft()
         handle = self._models[model_id]
         dataset = self._datasets.get(handle.dataset_id)
         if dataset is None:
@@ -406,10 +409,14 @@ class MLaaSPlatform:
 
         In the simulator "blocking" means draining the queue up to and
         including the requested job — the observable behaviour of polling
-        a real training job until it completes.
+        a real training job until it completes.  Every poll of the job
+        state is a metered API request: real services count status calls
+        against the same quota as mutations, which is exactly why the
+        paper's scripts had to pace their polling loops (§3.2, §8).
         """
         handle = self.get_model(model_id)
         while handle.state is JobState.QUEUED:
+            self._consume_request()
             if model_id not in self._job_queue:
                 raise JobFailedError(
                     f"model {model_id} is queued but not in the job queue"
@@ -418,7 +425,12 @@ class MLaaSPlatform:
         return handle
 
     def get_model(self, model_id: str) -> ModelHandle:
-        """Fetch a model's job state and metadata."""
+        """Fetch a model's job state and metadata (one metered request)."""
+        self._consume_request()
+        return self._require_model(model_id)
+
+    def _require_model(self, model_id: str) -> ModelHandle:
+        """Server-side handle lookup; free, unlike the public poll."""
         handle = self._models.get(model_id)
         if handle is None:
             raise ResourceNotFoundError(f"no model {model_id!r}")
@@ -431,7 +443,7 @@ class MLaaSPlatform:
     def batch_predict(self, model_id: str, X) -> np.ndarray:
         """Return label predictions for a batch of query samples."""
         self._consume_request()
-        handle = self.get_model(model_id)
+        handle = self._require_model(model_id)
         if handle.state is JobState.FAILED:
             raise JobFailedError(
                 f"model {model_id} failed: {handle.failure_reason}"

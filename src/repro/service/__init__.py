@@ -1,0 +1,46 @@
+"""Campaign orchestration service layer (``repro.service``).
+
+Turns the job-oriented platform simulators into infrastructure that can
+serve a paper-scale measurement campaign (§3.2 ran ~1.7M API calls
+against six rate-limited services):
+
+* :mod:`repro.service.clock` — virtual/wall time sources; a shared
+  :class:`VirtualClock` makes quota windows and backoff waits simulated,
+  fast, and reproducible.
+* :mod:`repro.service.resilience` — :class:`ResilientClient`, a retrying
+  thread-safe facade over a platform with deterministic seeded-jitter
+  exponential backoff under a :class:`RetryPolicy`.
+* :mod:`repro.service.telemetry` — counters, latency/attempt histograms
+  and per-platform request accounting with JSON snapshot export.
+* :mod:`repro.service.scheduler` — :class:`CampaignScheduler`, a worker
+  pool with fair round-robin dispatch, per-platform concurrency caps,
+  backpressure, and checkpoint/resume, whose results are bit-identical
+  to the serial sweep regardless of worker count.
+
+Entry points: ``MLaaSStudy(workers=...)`` routes the study protocols
+through a scheduler, and the ``repro campaign`` CLI runs one from the
+command line.
+"""
+
+from repro.service.clock import VirtualClock, WallClock
+from repro.service.resilience import ResilientClient, RetryPolicy, is_transient
+from repro.service.scheduler import (
+    CampaignJob,
+    CampaignScheduler,
+    build_campaign,
+)
+from repro.service.telemetry import Counter, Histogram, Telemetry
+
+__all__ = [
+    "CampaignJob",
+    "CampaignScheduler",
+    "Counter",
+    "Histogram",
+    "ResilientClient",
+    "RetryPolicy",
+    "Telemetry",
+    "VirtualClock",
+    "WallClock",
+    "build_campaign",
+    "is_transient",
+]

@@ -1,0 +1,104 @@
+"""Time sources for campaign orchestration.
+
+The paper's measurement campaign ran for months against rate-limited web
+APIs (§3.2, §8): quota windows, backoff waits and polling pace are all
+*time-dependent* behaviour.  Reproducing that behaviour must not cost
+calendar time, and must not depend on the wall clock of the machine the
+reproduction runs on — so the service layer threads an explicit clock
+through every component that waits:
+
+* :class:`VirtualClock` — a thread-safe simulated monotonic clock.
+  ``sleep`` *advances* virtual time instead of blocking, so a campaign
+  that "waits out" a rolling-minute quota window completes in
+  microseconds, identically on every machine.  Sharing one instance
+  between the platforms' rate limiters (``MLaaSPlatform(clock=...)``)
+  and the :class:`~repro.service.resilience.ResilientClient` backoff is
+  what makes retry behaviour simulated, fast, and reproducible.
+* :class:`WallClock` — the same interface over ``time.monotonic`` /
+  ``time.sleep``, for campaigns that really should pace themselves
+  (e.g. driving an actual remote service).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import ValidationError
+
+__all__ = ["VirtualClock", "WallClock"]
+
+
+class VirtualClock:
+    """Thread-safe simulated monotonic clock shared across the service.
+
+    Calling the instance returns the current virtual time in seconds, so
+    it drops straight into ``MLaaSPlatform(clock=...)``.  ``sleep``
+    advances the clock instead of blocking, which turns every quota
+    window and backoff delay of a campaign into pure bookkeeping.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._slept = 0.0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        return self.now()
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move virtual time forward; returns the new time."""
+        if seconds < 0:
+            raise ValidationError(
+                f"cannot advance a monotonic clock by {seconds!r} seconds"
+            )
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Simulated sleep: advances virtual time without blocking."""
+        if seconds < 0:
+            raise ValidationError(
+                f"cannot sleep for {seconds!r} seconds"
+            )
+        with self._lock:
+            self._now += float(seconds)
+            self._slept += float(seconds)
+
+    @property
+    def total_slept(self) -> float:
+        """Cumulative virtual seconds spent in :meth:`sleep`.
+
+        This is the calendar time a real campaign would have burned
+        waiting on quotas — reported by telemetry so the cost of rate
+        limits is visible even though the simulation pays nothing.
+        """
+        with self._lock:
+            return self._slept
+
+
+class WallClock:
+    """Real time behind the same interface as :class:`VirtualClock`.
+
+    Use when a campaign must genuinely pace itself (actual remote
+    services); everywhere else prefer :class:`VirtualClock` so runs are
+    fast and machine-independent.
+    """
+
+    def __call__(self) -> float:
+        return self.now()
+
+    def now(self) -> float:
+        """Current monotonic wall time in seconds."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Really block for ``seconds`` (clamped at zero)."""
+        if seconds > 0:
+            time.sleep(seconds)

@@ -1,0 +1,336 @@
+"""Concurrent campaign scheduler with a deterministic result contract.
+
+The serial double loop in :meth:`repro.core.runner.ExperimentRunner.sweep`
+is the reproduction's equivalent of the paper's measurement scripts; this
+module is the infrastructure that lets the same measurements be *served*:
+a worker pool drives many platforms at once through
+:class:`~repro.service.resilience.ResilientClient` wrappers, with
+
+* **fair round-robin dispatch** across platforms (no platform starves),
+* **per-platform concurrency caps** (default 1: each simulated service
+  processes its jobs strictly in order, like a real job queue),
+* **backpressure** via a bounded dispatch queue,
+* **checkpoint/resume** compatible with
+  :class:`~repro.core.results.ResultStore` JSON checkpoints, and
+* **telemetry** for every request, retry and job.
+
+Determinism contract
+--------------------
+The returned store is **bit-identical to the serial sweep regardless of
+worker count**.  Numerics are already order-independent — every job's
+seed is derived from (platform seed, data, configuration) in
+:mod:`repro.platforms.base` — so the scheduler only has to pin
+*ordering*: each job carries the index it would have in the serial
+platform→dataset→configuration loop, workers fill a slot table, and the
+final store reads the slots in index order.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.controls import Configuration
+from repro.core.results import ResultStore
+from repro.core.runner import ExperimentRunner
+from repro.datasets.corpus import Dataset
+from repro.exceptions import ValidationError
+from repro.service.clock import VirtualClock
+from repro.service.resilience import ResilientClient, RetryPolicy
+from repro.service.telemetry import Telemetry
+
+__all__ = ["CampaignJob", "CampaignScheduler", "build_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One planned measurement, pinned to its serial-order position."""
+
+    index: int
+    platform_name: str
+    dataset: Dataset
+    configuration: Configuration
+
+    def key(self) -> tuple:
+        """Identity used for resume matching (mirrors ``sweep``'s skip set)."""
+        return (self.platform_name, self.dataset.name, self.configuration)
+
+
+def build_campaign(
+    platforms: Sequence,
+    datasets: Sequence[Dataset],
+    configurations,
+) -> list:
+    """Enumerate jobs in exactly the serial sweep order.
+
+    ``configurations`` is either a mapping ``platform name -> sequence of
+    configurations`` (each platform sweeps its own space, as the study
+    protocols do) or a single sequence applied to every platform.  The
+    order is platform-major, then dataset, then configuration — the
+    order ``MLaaSStudy`` produces with nested ``sweep`` calls.
+    """
+    per_platform = _configurations_by_platform(platforms, configurations)
+    jobs: list = []
+    for platform in platforms:
+        for dataset in datasets:
+            for configuration in per_platform[platform.name]:
+                jobs.append(CampaignJob(
+                    index=len(jobs),
+                    platform_name=platform.name,
+                    dataset=dataset,
+                    configuration=configuration,
+                ))
+    return jobs
+
+
+def _configurations_by_platform(platforms, configurations) -> dict:
+    if isinstance(configurations, Mapping):
+        resolved = {}
+        for platform in platforms:
+            if platform.name not in configurations:
+                raise ValidationError(
+                    f"no configurations supplied for platform "
+                    f"{platform.name!r}"
+                )
+            resolved[platform.name] = list(configurations[platform.name])
+        return resolved
+    shared = list(configurations)
+    return {platform.name: shared for platform in platforms}
+
+
+class CampaignScheduler:
+    """Run a measurement campaign on a thread pool, deterministically.
+
+    Parameters
+    ----------
+    workers : int
+        Worker-thread count.  ``workers=1`` degenerates to the serial
+        order with the resilience/telemetry layer still active.
+    per_platform_cap : int
+        Maximum jobs in flight per platform (default 1: strict FIFO per
+        service, which also pins per-platform resource ids to the serial
+        sequence).
+    retry_policy : RetryPolicy or None
+        Backoff bounds shared by every platform client.
+    clock : VirtualClock or WallClock or None
+        Time source for backoff waits; defaults to a fresh
+        :class:`VirtualClock`.  Pass the same instance the platforms'
+        rate limiters use so waits roll their quota windows forward.
+    telemetry : Telemetry or None
+        Metrics sink (a fresh one by default; exposed as ``.telemetry``).
+    backpressure : int or None
+        Bound of the dispatch queue (default ``2 * workers``): the
+        dispatcher blocks rather than enqueueing the whole campaign.
+    seed : int
+        Root seed for the clients' deterministic backoff jitter.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        per_platform_cap: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        clock=None,
+        telemetry: Telemetry | None = None,
+        backpressure: int | None = None,
+        seed: int = 0,
+    ):
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if per_platform_cap < 1:
+            raise ValidationError(
+                f"per_platform_cap must be >= 1, got {per_platform_cap}"
+            )
+        self.workers = int(workers)
+        self.per_platform_cap = int(per_platform_cap)
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.backpressure = backpressure if backpressure is not None \
+            else 2 * self.workers
+        if self.backpressure < 1:
+            raise ValidationError(
+                f"backpressure must be >= 1, got {self.backpressure}"
+            )
+        self.seed = seed
+
+    def clients_for(self, platforms: Sequence) -> dict:
+        """One :class:`ResilientClient` per platform, sharing clock/metrics."""
+        return {
+            platform.name: ResilientClient(
+                platform,
+                policy=self.retry_policy,
+                clock=self.clock,
+                telemetry=self.telemetry,
+                seed=self.seed,
+            )
+            for platform in platforms
+        }
+
+    def run(
+        self,
+        runner: ExperimentRunner,
+        platforms: Sequence,
+        datasets: Sequence[Dataset],
+        configurations,
+        resume_from: ResultStore | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int = 200,
+    ) -> ResultStore:
+        """Execute the campaign; returns results in serial sweep order.
+
+        ``resume_from`` results matching a planned job fill that job's
+        slot without re-measuring (the scheduler's analogue of
+        ``sweep(resume_from=...)``); ``checkpoint_path`` is rewritten
+        every ``checkpoint_every`` new measurements and at the end, in
+        completed-slot order, so an interrupted campaign resumes from a
+        loadable :class:`ResultStore`.
+        """
+        platforms = list(platforms)
+        datasets = list(datasets)
+        jobs = build_campaign(platforms, datasets, configurations)
+        clients = self.clients_for(platforms)
+        # Warm the split cache serially so worker threads only read it.
+        splits = {
+            dataset.name: runner.split(dataset) for dataset in datasets
+        }
+
+        slots: list = [None] * len(jobs)
+        resumable = _resume_index(resume_from, {p.name for p in platforms})
+        pending: dict[str, deque] = {p.name: deque() for p in platforms}
+        resumed = 0
+        for job in jobs:
+            previous = resumable.pop(job.key(), None)
+            if previous is not None:
+                slots[job.index] = previous
+                resumed += 1
+            else:
+                pending[job.platform_name].append(job)
+        remaining = len(jobs) - resumed
+        self.telemetry.increment("jobs_total", len(jobs))
+        self.telemetry.increment("jobs_resumed", resumed)
+
+        if remaining:
+            self._execute(runner, clients, splits, pending, slots,
+                          remaining, checkpoint_path, checkpoint_every)
+
+        results = [result for result in slots if result is not None]
+        self.telemetry.increment(
+            "jobs_failed", sum(1 for r in results if not r.ok)
+        )
+        if hasattr(self.clock, "total_slept"):
+            self.telemetry.observe(
+                "backoff_virtual_seconds", self.clock.total_slept
+            )
+        store = ResultStore(results)
+        if checkpoint_path is not None and remaining:
+            store.save(checkpoint_path)
+        return store
+
+    # -- worker pool -----------------------------------------------------
+
+    def _execute(self, runner, clients, splits, pending, slots,
+                 remaining, checkpoint_path, checkpoint_every) -> None:
+        """Dispatch every pending job round-robin and wait for the pool."""
+        tasks: queue.Queue = queue.Queue(maxsize=self.backpressure)
+        lock = threading.Lock()
+        completed_cv = threading.Condition(lock)
+        in_flight = {name: 0 for name in pending}
+        errors: list = []
+        progress = {"new": 0}
+
+        def worker() -> None:
+            while True:
+                job = tasks.get()
+                if job is None:
+                    tasks.task_done()
+                    return
+                error = None
+                try:
+                    result = runner.run_one(
+                        clients[job.platform_name], job.dataset,
+                        job.configuration, splits[job.dataset.name],
+                    )
+                except Exception as exc:  # re-raised by the dispatcher
+                    error, result = exc, None
+                with completed_cv:
+                    if error is not None:
+                        errors.append(error)
+                    else:
+                        slots[job.index] = result
+                        progress["new"] += 1
+                        if (checkpoint_path is not None
+                                and progress["new"] % checkpoint_every == 0):
+                            _save_completed(slots, checkpoint_path)
+                    in_flight[job.platform_name] -= 1
+                    completed_cv.notify_all()
+                tasks.task_done()
+
+        threads = [
+            threading.Thread(target=worker, daemon=True,
+                             name=f"campaign-worker-{i}")
+            for i in range(min(self.workers, remaining))
+        ]
+        for thread in threads:
+            thread.start()
+
+        order = list(pending)
+        cursor = 0
+        to_dispatch = remaining
+        while to_dispatch:
+            with completed_cv:
+                choice = self._pick(order, cursor, pending, in_flight,
+                                    self.per_platform_cap)
+                while choice is None and not errors:
+                    completed_cv.wait()
+                    choice = self._pick(order, cursor, pending, in_flight,
+                                        self.per_platform_cap)
+                if errors:
+                    break
+                name = order[choice]
+                job = pending[name].popleft()
+                in_flight[name] += 1
+                cursor = (choice + 1) % len(order)
+            tasks.put(job)  # blocks when the bounded queue is full
+            to_dispatch -= 1
+
+        for _ in threads:
+            tasks.put(None)
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    @staticmethod
+    def _pick(order, cursor, pending, in_flight, cap) -> int | None:
+        """Next platform index round-robin from ``cursor`` with capacity."""
+        for offset in range(len(order)):
+            position = (cursor + offset) % len(order)
+            name = order[position]
+            if pending[name] and in_flight[name] < cap:
+                return position
+        return None
+
+
+def _resume_index(resume_from, platform_names) -> dict:
+    """Map job key -> prior result for resumable measurements."""
+    index: dict = {}
+    if resume_from is None:
+        return index
+    for result in resume_from:
+        if result.platform not in platform_names:
+            continue
+        key = (result.platform, result.dataset, result.configuration)
+        index.setdefault(key, result)
+    return index
+
+
+def _save_completed(slots, checkpoint_path) -> None:
+    """Checkpoint the completed slots, in serial order."""
+    ResultStore(
+        result for result in slots if result is not None
+    ).save(checkpoint_path)

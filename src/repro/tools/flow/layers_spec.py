@@ -8,7 +8,7 @@ The reproduction's dependency DAG, lowest layer first::
         ^
     datasets, platforms                          (corpus + simulated services)
         ^
-    core, analysis                               (measurement harness)
+    core, analysis, service                      (measurement harness)
         ^
     repro (facade), cli, tools, benchmarks, ...  (interface)
 
@@ -55,8 +55,9 @@ LAYERS = (
     ),
     Layer(
         name="measurement",
-        packages=("repro.core", "repro.analysis"),
-        description="study orchestration, runner, and analysis of results",
+        packages=("repro.core", "repro.analysis", "repro.service"),
+        description="study orchestration, runner, campaign service layer, "
+                    "and analysis of results",
     ),
     Layer(
         name="interface",

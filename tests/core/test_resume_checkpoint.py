@@ -89,3 +89,42 @@ def test_resume_from_checkpoint_roundtrip(tmp_path, dataset, configurations):
     assert len(resumed) == 3
     scores = [r.f_score for r in resumed]
     assert all(0.0 <= s <= 1.0 for s in scores)
+
+
+def test_interrupted_sweep_resumes_to_identical_store(
+        tmp_path, dataset, configurations):
+    """An interrupted sweep, resumed from its checkpoint, matches an
+    uninterrupted run record for record."""
+    uninterrupted = ExperimentRunner(split_seed=0).sweep(
+        Amazon(random_state=0), [dataset], configurations,
+    )
+
+    class CrashingAmazon(Amazon):
+        """Dies with a non-platform error on the third measurement."""
+
+        uploads = 0
+
+        def upload_dataset(self, X, y, name="dataset"):
+            type(self).uploads += 1
+            if type(self).uploads == 3:
+                raise RuntimeError("simulated process crash")
+            return super().upload_dataset(X, y, name=name)
+
+    path = tmp_path / "interrupted.json"
+    with pytest.raises(RuntimeError, match="simulated process crash"):
+        ExperimentRunner(split_seed=0).sweep(
+            CrashingAmazon(random_state=0), [dataset], configurations,
+            checkpoint_path=path, checkpoint_every=1,
+        )
+    partial = ResultStore.load(path)
+    assert len(partial) == 2  # the first two measurements survived
+
+    resumed = ExperimentRunner(split_seed=0).sweep(
+        Amazon(random_state=0), [dataset], configurations,
+        resume_from=partial, checkpoint_path=path, checkpoint_every=1,
+    )
+    assert [r.to_dict() for r in resumed] == \
+           [r.to_dict() for r in uninterrupted]
+    # The final checkpoint also round-trips to the identical store.
+    assert [r.to_dict() for r in ResultStore.load(path)] == \
+           [r.to_dict() for r in uninterrupted]

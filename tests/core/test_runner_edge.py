@@ -14,13 +14,14 @@ def dataset():
 
 
 def test_rate_limited_platform_records_failures(dataset):
-    # Three API calls per measurement (upload/create/predict): a quota of
-    # 4 lets the first measurement through and fails the second cleanly.
+    # Five API calls per measurement (upload/create/poll/predict/delete —
+    # status polls are metered like every other request): a quota of 5
+    # lets the first measurement through and fails the second cleanly.
     class Clock:
         def __call__(self):
             return 0.0
 
-    platform = Google(random_state=0, rate_limit_per_minute=4, clock=Clock())
+    platform = Google(random_state=0, rate_limit_per_minute=5, clock=Clock())
     runner = ExperimentRunner(split_seed=0)
     first = runner.run_one(platform, dataset, Configuration.make())
     second = runner.run_one(platform, dataset, Configuration.make())

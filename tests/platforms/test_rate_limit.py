@@ -73,6 +73,52 @@ def test_sliding_window_partial_expiry(data):
         platform.upload_dataset(X, y)
 
 
+def test_polling_calls_consume_quota(data):
+    X, y = data
+    clock = FakeClock()
+    platform = Microsoft(rate_limit_per_minute=3, clock=clock)
+    dataset_id = platform.upload_dataset(X, y)               # 1
+    model_id = platform.create_model(dataset_id, classifier="LR")  # 2
+    platform.get_model(model_id)                             # 3: polls meter too
+    with pytest.raises(QuotaExceededError):
+        platform.get_model(model_id)                         # 4
+
+
+def test_batch_predict_consumes_exactly_one_request(data):
+    X, y = data
+    clock = FakeClock()
+    platform = Microsoft(rate_limit_per_minute=3, clock=clock)
+    dataset_id = platform.upload_dataset(X, y)               # 1
+    model_id = platform.create_model(dataset_id, classifier="LR")  # 2
+    # The internal model lookup must not double-bill the predict call.
+    platform.batch_predict(model_id, X[:5])                  # 3
+    with pytest.raises(QuotaExceededError):
+        platform.get_model(model_id)                         # 4
+
+
+def test_delete_dataset_consumes_quota(data):
+    X, y = data
+    clock = FakeClock()
+    platform = Google(rate_limit_per_minute=2, clock=clock)
+    dataset_id = platform.upload_dataset(X, y)               # 1
+    platform.delete_dataset(dataset_id)                      # 2
+    with pytest.raises(QuotaExceededError):
+        platform.upload_dataset(X, y)                        # 3
+
+
+def test_await_model_meters_each_poll(data):
+    X, y = data
+    clock = FakeClock()
+    platform = Microsoft(
+        rate_limit_per_minute=4, clock=clock, synchronous=False
+    )
+    dataset_id = platform.upload_dataset(X, y)               # 1
+    model_id = platform.create_model(dataset_id, classifier="LR")  # 2
+    platform.await_model(model_id)                           # >= 1 poll
+    with pytest.raises(QuotaExceededError):
+        platform.upload_dataset(X, y)
+
+
 def test_no_limit_by_default(data):
     X, y = data
     platform = Google()

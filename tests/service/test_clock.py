@@ -1,0 +1,80 @@
+"""Tests for the virtual/wall clocks of the service layer."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.platforms import Google
+from repro.service import VirtualClock, WallClock
+
+
+def test_virtual_clock_starts_at_zero_and_advances():
+    clock = VirtualClock()
+    assert clock.now() == 0.0
+    assert clock() == 0.0
+    clock.advance(12.5)
+    assert clock.now() == 12.5
+
+
+def test_virtual_clock_custom_start():
+    assert VirtualClock(start=100.0).now() == 100.0
+
+
+def test_virtual_sleep_advances_without_blocking():
+    clock = VirtualClock()
+    clock.sleep(3600.0)  # an hour of waiting costs nothing
+    assert clock.now() == 3600.0
+    assert clock.total_slept == 3600.0
+
+
+def test_advance_does_not_count_as_sleep():
+    clock = VirtualClock()
+    clock.advance(10.0)
+    clock.sleep(5.0)
+    assert clock.now() == 15.0
+    assert clock.total_slept == 5.0
+
+
+def test_negative_advance_and_sleep_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValidationError):
+        clock.advance(-1.0)
+    with pytest.raises(ValidationError):
+        clock.sleep(-0.5)
+
+
+def test_virtual_clock_is_thread_safe():
+    clock = VirtualClock()
+
+    def bump():
+        for _ in range(1000):
+            clock.sleep(0.001)
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert clock.now() == pytest.approx(8.0)
+    assert clock.total_slept == pytest.approx(8.0)
+
+
+def test_virtual_clock_drives_platform_rate_limiter(linear_data):
+    X, y, _, _ = linear_data
+    clock = VirtualClock()
+    platform = Google(rate_limit_per_minute=2, clock=clock)
+    platform.upload_dataset(X, y)
+    platform.upload_dataset(X, y)
+    clock.sleep(61.0)  # virtual wait rolls the quota window forward
+    dataset_id = platform.upload_dataset(X, y)
+    assert dataset_id in platform.list_datasets()
+
+
+def test_wall_clock_is_monotonic_and_sleep_tolerates_zero():
+    clock = WallClock()
+    before = clock.now()
+    clock.sleep(0.0)
+    clock.sleep(-1.0)  # clamped, no error: a computed delay may be <= 0
+    assert clock.now() >= before
+    assert clock() >= before

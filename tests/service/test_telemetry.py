@@ -1,0 +1,100 @@
+"""Tests for campaign telemetry counters, histograms and snapshots."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import Counter, Histogram, Telemetry
+
+
+def test_counter_increments_and_rejects_decrease():
+    counter = Counter("requests")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.increment(-1)
+
+
+def test_histogram_buckets_observations():
+    histogram = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.counts == [1, 2, 1, 1]  # last bucket is +Inf overflow
+    assert histogram.mean == pytest.approx(56.05 / 5)
+    snapshot = histogram.to_dict()
+    assert snapshot["buckets"]["+Inf"] == 1
+    assert snapshot["count"] == 5
+
+
+def test_record_request_accounts_platform_ops_and_retries():
+    telemetry = Telemetry()
+    telemetry.record_request("google", "upload_dataset", attempts=1, seconds=0.01)
+    telemetry.record_request("google", "create_model", attempts=3, seconds=2.5)
+    telemetry.record_request("amazon", "upload_dataset", attempts=1, seconds=0.02)
+    assert telemetry.counter_value("requests_total") == 5
+    assert telemetry.counter_value("retries_total") == 2
+    assert telemetry.platform_requests("google") == {
+        "upload_dataset": 1, "create_model": 3,
+    }
+    assert telemetry.platform_requests("amazon") == {"upload_dataset": 1}
+    assert telemetry.platform_requests("bigml") == {}
+
+
+def test_record_error_counts_by_kind():
+    telemetry = Telemetry()
+    telemetry.record_error("google", "QuotaExceededError")
+    telemetry.record_error("google", "QuotaExceededError")
+    telemetry.record_error("google", "JobFailedError")
+    assert telemetry.platform_errors("google") == {
+        "QuotaExceededError": 2, "JobFailedError": 1,
+    }
+    assert telemetry.counter_value("errors_total") == 3
+
+
+def test_snapshot_shape_and_json_round_trip(tmp_path):
+    telemetry = Telemetry()
+    telemetry.increment("jobs_total", 7)
+    telemetry.record_request("google", "upload_dataset", attempts=2, seconds=0.4)
+    telemetry.record_error("google", "QuotaExceededError")
+    path = tmp_path / "telemetry.json"
+    telemetry.save(path)
+    loaded = json.loads(path.read_text())
+    assert loaded == telemetry.snapshot()
+    assert loaded["counters"]["jobs_total"] == 7
+    assert loaded["platforms"]["google"]["retries"] == 1
+    assert loaded["platforms"]["google"]["errors"]["QuotaExceededError"] == 1
+    assert "latency_seconds.upload_dataset" in loaded["histograms"]
+    assert loaded["histograms"]["attempts_per_call"]["count"] == 1
+
+
+def test_snapshot_is_deterministic():
+    def build():
+        telemetry = Telemetry()
+        telemetry.record_request("b", "op2", attempts=1, seconds=0.001)
+        telemetry.record_request("a", "op1", attempts=2, seconds=0.002)
+        telemetry.record_error("b", "JobFailedError")
+        return telemetry
+
+    first = json.dumps(build().snapshot(), sort_keys=True)
+    second = json.dumps(build().snapshot(), sort_keys=True)
+    assert first == second
+
+
+def test_concurrent_recording_is_consistent():
+    telemetry = Telemetry()
+
+    def record():
+        for _ in range(500):
+            telemetry.increment("requests_total")
+            telemetry.observe("latency", 0.01)
+
+    threads = [threading.Thread(target=record) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert telemetry.counter_value("requests_total") == 4000
+    assert telemetry.snapshot()["histograms"]["latency"]["count"] == 4000

@@ -51,6 +51,31 @@ def test_boundary_rejects_high_dimensional_dataset(capsys):
     assert code == 2
 
 
+def test_campaign_runs_and_matches_serial(tmp_path):
+    telemetry_path = tmp_path / "telemetry.json"
+    output = run_cli(
+        "campaign", "--workers", "4", "--datasets", "2", "--size-cap", "100",
+        "--compare-serial", "--telemetry-out", str(telemetry_path),
+    )
+    assert "Campaign" in output
+    assert "IDENTICAL" in output
+    assert telemetry_path.exists()
+
+
+def test_campaign_checkpoint_resume(tmp_path):
+    checkpoint = tmp_path / "campaign.json"
+    first = run_cli(
+        "campaign", "--workers", "2", "--datasets", "2", "--size-cap", "100",
+        "--checkpoint", str(checkpoint),
+    )
+    assert checkpoint.exists()
+    resumed = run_cli(
+        "campaign", "--workers", "2", "--datasets", "2", "--size-cap", "100",
+        "--checkpoint", str(checkpoint), "--resume", str(checkpoint),
+    )
+    assert "Campaign" in first and "Campaign" in resumed
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
