@@ -1,0 +1,182 @@
+"""Seed-era tree substrate, kept verbatim as the benchmark baseline.
+
+These classes re-implement the pre-optimization algorithms — re-sorting
+every candidate feature at every node during growth, and per-tree
+``TreeNode`` stack routing during prediction — on top of the *current*
+estimator classes, so ``bench_substrate_speedup.py`` and the
+equivalence tests can measure and assert the optimized substrate
+against the exact seed behavior.  RNG consumption and arithmetic are
+identical, which is what makes "bit-identical predictions" a testable
+claim rather than a tolerance check.
+
+Not collected by pytest (no ``test_``/``bench_`` prefix); imported by
+the bench and by ``tests/learn/test_substrate_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.ensemble import RandomForestClassifier
+from repro.learn.tree import DecisionTreeClassifier
+from repro.learn.tree.cart import TreeNode, find_best_split
+
+__all__ = [
+    "ReferenceDecisionTree",
+    "ReferenceRandomForest",
+    "node_route",
+    "reference_grid_search",
+]
+
+
+def node_route(root: TreeNode, X: np.ndarray) -> np.ndarray:
+    """Seed prediction path: route samples with a TreeNode stack."""
+    values = np.empty(X.shape[0])
+    stack = [(root, np.arange(X.shape[0]))]
+    while stack:
+        node, indices = stack.pop()
+        if indices.size == 0:
+            continue
+        if node.is_leaf:
+            values[indices] = node.positive_fraction
+            continue
+        goes_left = X[indices, node.feature] <= node.threshold
+        stack.append((node.left, indices[goes_left]))
+        stack.append((node.right, indices[~goes_left]))
+    return values
+
+
+class ReferenceDecisionTree(DecisionTreeClassifier):
+    """Seed CART: per-node re-sorting growth, per-node stack prediction."""
+
+    def _build_tree(self, X, y01, rng, impurity_fn, n_candidate_features):
+        """Seed grower: recursion over copied subarrays, re-sorted splits."""
+        return self._seed_grow(
+            X, y01, 0, rng, impurity_fn, n_candidate_features
+        )
+
+    def _seed_grow(self, X, y01, depth, rng, impurity_fn,
+                   n_candidate_features):
+        node = TreeNode(
+            positive_fraction=float(y01.mean()),
+            n_samples=y01.shape[0],
+            depth=depth,
+        )
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or y01.shape[0] < self.min_samples_split
+            or node.positive_fraction in (0.0, 1.0)
+        ):
+            return node
+        if n_candidate_features < X.shape[1]:
+            feature_indices = rng.choice(
+                X.shape[1], size=n_candidate_features, replace=False
+            )
+        else:
+            feature_indices = np.arange(X.shape[1])
+        split = find_best_split(
+            X, y01, feature_indices, impurity_fn, self.min_samples_leaf
+        )
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        goes_left = X[:, feature] <= threshold
+        if not goes_left.any() or goes_left.all():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._seed_grow(
+            X[goes_left], y01[goes_left], depth + 1, rng, impurity_fn,
+            n_candidate_features,
+        )
+        node.right = self._seed_grow(
+            X[~goes_left], y01[~goes_left], depth + 1, rng, impurity_fn,
+            n_candidate_features,
+        )
+        return node
+
+    def _positive_fractions(self, X):
+        """Seed prediction: TreeNode stack routing, one tree at a time."""
+        return node_route(self.tree_, X)
+
+
+class ReferenceRandomForest(RandomForestClassifier):
+    """Seed forest: reference trees, per-tree Python-loop prediction."""
+
+    def fit(self, X, y):
+        """Grow reference trees with the seed's exact RNG consumption."""
+        from repro.learn.validation import (
+            check_binary_labels, check_random_state, check_X_y,
+        )
+
+        X, y = check_X_y(X, y, min_samples=2)
+        self.classes_ = check_binary_labels(y)
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+        self.estimators_ = []
+        for _ in range(self.n_estimators):
+            tree = ReferenceDecisionTree(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31)),
+            )
+            if self.bootstrap:
+                for _attempt in range(20):
+                    indices = rng.integers(0, n_samples, size=n_samples)
+                    if len(np.unique(y[indices])) == 2:
+                        break
+                tree.fit(X[indices], y[indices])
+            else:
+                tree.fit(X, y)
+            self.estimators_.append(tree)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X):
+        """Seed prediction: list comprehension over per-tree routing."""
+        from repro.learn.validation import check_array
+
+        X = check_array(X)
+        positive = np.mean(
+            [tree.predict_proba(X)[:, 1] for tree in self.estimators_], axis=0
+        )
+        return np.column_stack([1.0 - positive, positive])
+
+
+def reference_grid_search(estimator, param_grid, X, y, cv, random_state,
+                          scoring):
+    """Seed grid search: folds regenerated per candidate, no memoization.
+
+    Returns ``(cv_results, best_params, best_score)`` with the seed's
+    exact control flow.
+    """
+    from repro.exceptions import ReproError
+    from repro.learn.base import clone
+    from repro.learn.model_selection import ParameterGrid, StratifiedKFold
+
+    results = []
+    best_score = -np.inf
+    best_params = {}
+    for params in ParameterGrid(param_grid):
+        candidate = clone(estimator).set_params(**params)
+        try:
+            splitter = StratifiedKFold(
+                n_splits=cv, shuffle=True, random_state=random_state
+            )
+            scores = []
+            for train, test in splitter.split(X, y):
+                if len(np.unique(y[train])) < 2:
+                    continue
+                model = clone(candidate)
+                model.fit(X[train], y[train])
+                scores.append(scoring(y[test], model.predict(X[test])))
+            mean_score = float(np.asarray(scores).mean())
+        except ReproError:
+            continue
+        results.append({"params": params, "mean_score": mean_score})
+        if mean_score > best_score:
+            best_score = mean_score
+            best_params = params
+    return results, best_params, best_score

@@ -34,6 +34,7 @@ from repro.learn.base import (
     clone,
 )
 from repro.learn.bayes import BernoulliNB, GaussianNB
+from repro.learn.cache import FitCache, array_digest, derive_candidate_seed
 from repro.learn.ensemble import (
     AdaBoostClassifier,
     BaggingClassifier,
@@ -95,8 +96,8 @@ __all__ = [
     # model selection
     "train_test_split", "KFold", "StratifiedKFold", "cross_val_score",
     "ParameterGrid", "GridSearchCV", "paper_numeric_scan",
-    # composition
-    "Pipeline",
+    # composition and fit memoization
+    "Pipeline", "FitCache", "array_digest", "derive_candidate_seed",
     # extensions: regression (the paper's other universal task) and
     # multi-class reduction (§8 future work)
     "LinearRegression", "DecisionTreeRegressor", "KNeighborsRegressor",

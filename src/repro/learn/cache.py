@@ -1,0 +1,134 @@
+"""Content-hash keyed memoization for repeated estimator fits.
+
+Grid search evaluates many parameter candidates against the same
+cross-validation folds, and candidates that share a pipeline prefix
+(e.g. the same FEAT selection stage in front of different classifier
+settings) re-fit that prefix once per candidate per fold.  A
+:class:`FitCache` keys each transformer fit by *content* — estimator
+class, full parameter configuration, and crc32 digests of the training
+arrays (the same digest scheme as the platform simulators' model
+hashes) — so identical stage fits are computed once and replayed
+everywhere else.
+
+Because every estimator in :mod:`repro.learn` is deterministic given
+its parameters (an omitted ``random_state`` means the documented
+default seed, never OS entropy), replaying a cached fit is bit-for-bit
+equivalent to recomputing it; the cache changes wall-clock, never
+results.  Cached transformed arrays are shared read-only by downstream
+stages and must not be mutated in place.
+
+:func:`derive_candidate_seed` is the crc32 seed derivation used by the
+parallel grid-search backend — per-candidate seeds depend only on the
+base seed and the candidate's identity, never on worker count or
+execution order (the same pattern as per-platform backoff seeds in
+:mod:`repro.service`).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator, clone
+
+__all__ = ["FitCache", "array_digest", "params_token", "derive_candidate_seed"]
+
+
+def array_digest(array) -> str:
+    """Hex crc32 digest of an array's dtype, shape, and raw bytes.
+
+    Uses crc32 (not ``hash``, which is salted per process) so digests
+    are stable across processes and sessions.
+    """
+    contiguous = np.ascontiguousarray(array)
+    digest = zlib.crc32(str(contiguous.dtype).encode())
+    digest = zlib.crc32(str(contiguous.shape).encode(), digest)
+    digest = zlib.crc32(contiguous.tobytes(), digest)
+    return f"{digest:08x}"
+
+
+def params_token(value) -> str:
+    """Deterministic string token for a parameter value.
+
+    Nested estimators expand to their class and full parameters, arrays
+    and generators to content digests; unknown objects fall back to
+    ``repr``, which can only cause cache *misses* (distinct tokens for
+    equal values), never false hits.
+    """
+    if isinstance(value, BaseEstimator):
+        return f"{type(value).__name__}({params_token(value.get_params())})"
+    if isinstance(value, np.ndarray):
+        return f"ndarray:{array_digest(value)}"
+    if isinstance(value, np.random.Generator):
+        # repr() hides the state; digest it so two generators with
+        # different states never share a token.
+        state = str(value.bit_generator.state).encode()
+        return f"generator:{zlib.crc32(state):08x}"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{key}={params_token(value[key])}" for key in sorted(value)
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(params_token(item) for item in value) + "]"
+    return repr(value)
+
+
+def derive_candidate_seed(base_seed, label: str) -> int:
+    """crc32-derived deterministic seed for one grid-search candidate.
+
+    Same derivation pattern as :mod:`repro.service` backoff seeds:
+    ``crc32(f"{base_seed}:{label}")``, independent of worker count and
+    evaluation order.
+    """
+    return int(zlib.crc32(f"{base_seed}:{label}".encode()))
+
+
+class FitCache:
+    """In-memory memo of fitted transformer stages, keyed by content.
+
+    The cache object is deliberately shared, not cloned: estimators
+    holding one as a parameter (``Pipeline(memory=...)``) keep pointing
+    at the same store through :func:`repro.learn.base.clone`.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __deepcopy__(self, memo) -> "FitCache":
+        """Cloning an estimator must share, not fork, its fit cache."""
+        return self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, estimator: BaseEstimator, X, y=None) -> str:
+        """Content key for fitting ``estimator`` on ``(X, y)``."""
+        head = f"{type(estimator).__module__}.{type(estimator).__qualname__}"
+        y_digest = "-" if y is None else array_digest(y)
+        return (
+            f"{head}|{params_token(estimator.get_params())}"
+            f"|X:{array_digest(X)}|y:{y_digest}"
+        )
+
+    def fit_transform(self, prototype: BaseEstimator, X, y):
+        """Memoized ``(fitted_clone, transformed_X)`` for one stage.
+
+        On a miss the prototype is cloned, fitted, and applied exactly
+        as an uncached pipeline would; on a hit both the fitted stage
+        and its output are replayed from the store.
+        """
+        cache_key = self.key(prototype, X, y)
+        entry = self._entries.get(cache_key)
+        if entry is None:
+            self.misses += 1
+            fitted = clone(prototype)
+            transformed = fitted.fit(X, y).transform(X)
+            entry = (fitted, transformed)
+            self._entries[cache_key] = entry
+        else:
+            self.hits += 1
+        return entry

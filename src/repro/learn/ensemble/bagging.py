@@ -16,6 +16,7 @@ from repro.learn.base import (
     clone,
 )
 from repro.learn.tree.cart import DecisionTreeClassifier
+from repro.learn.tree.flat import stack_trees
 from repro.learn.validation import (
     check_array,
     check_binary_labels,
@@ -93,6 +94,14 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
             member = self._make_member(rng)
             member.fit(X[indices], y[indices])
             self.estimators_.append(member)
+        # When every member is a compiled tree, stack them so prediction
+        # is one batched array walk instead of a per-member Python loop.
+        if all(hasattr(member, "flat_tree_") for member in self.estimators_):
+            self.flat_forest_ = stack_trees(
+                [member.flat_tree_ for member in self.estimators_]
+            )
+        else:
+            self.flat_forest_ = None
         self.n_features_in_ = X.shape[1]
         return self
 
@@ -105,11 +114,17 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
                 f"got {X.shape[1]}"
             )
         votes = np.zeros(X.shape[0])
-        for member in self.estimators_:
-            if hasattr(member, "predict_proba"):
-                votes += member.predict_proba(X)[:, 1]
-            else:
-                votes += (member.predict(X) == self.classes_[1]).astype(float)
+        if self.flat_forest_ is not None:
+            # Batched evaluation; accumulation stays member-by-member so
+            # the result is bit-identical to the sequential loop below.
+            for row in self.flat_forest_.predict_values(X):
+                votes += row
+        else:
+            for member in self.estimators_:
+                if hasattr(member, "predict_proba"):
+                    votes += member.predict_proba(X)[:, 1]
+                else:
+                    votes += (member.predict(X) == self.classes_[1]).astype(float)
         positive = votes / len(self.estimators_)
         return np.column_stack([1.0 - positive, positive])
 

@@ -13,6 +13,7 @@ from repro.exceptions import ValidationError
 from repro.learn.base import BaseEstimator, ClassifierMixin, check_is_fitted
 from repro.learn.tree.cart import DecisionTreeClassifier, TreeNode
 from repro.learn.tree.criteria import criterion_function
+from repro.learn.tree.flat import flatten_tree, stack_trees
 from repro.learn.validation import (
     check_array,
     check_binary_labels,
@@ -39,6 +40,9 @@ class _RegressionTree:
 
     def fit(self, X: np.ndarray, residual: np.ndarray, hessian: np.ndarray) -> None:
         self.root = self._grow(X, residual, hessian, depth=0)
+        # Leaf values live in positive_fraction, so the classification
+        # flattener lowers regression trees unchanged.
+        self.flat_ = flatten_tree(self.root)
 
     def _leaf_value(self, residual: np.ndarray, hessian: np.ndarray) -> float:
         denominator = hessian.sum()
@@ -115,19 +119,7 @@ class _RegressionTree:
         return best
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        values = np.empty(X.shape[0])
-        stack = [(self.root, np.arange(X.shape[0]))]
-        while stack:
-            node, indices = stack.pop()
-            if indices.size == 0:
-                continue
-            if node.is_leaf:
-                values[indices] = node.positive_fraction
-                continue
-            goes_left = X[indices, node.feature] <= node.threshold
-            stack.append((node.left, indices[goes_left]))
-            stack.append((node.right, indices[~goes_left]))
-        return values
+        return self.flat_.predict_value(X)
 
 
 class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
@@ -201,6 +193,8 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
             tree.fit(X[rows], residual[rows], hessian[rows])
             raw += self.learning_rate * tree.predict(X)
             self.trees_.append(tree)
+        # Batched inference over all rounds at once (decision_function).
+        self.flat_forest_ = stack_trees([tree.flat_ for tree in self.trees_])
         self.n_features_in_ = X.shape[1]
         return self
 
@@ -213,8 +207,10 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
                 f"got {X.shape[1]}"
             )
         raw = np.full(X.shape[0], self.initial_score_)
-        for tree in self.trees_:
-            raw += self.learning_rate * tree.predict(X)
+        # Round-by-round accumulation kept so the sum is bit-identical
+        # to the sequential per-tree loop; only the routing is batched.
+        for values in self.flat_forest_.predict_values(X):
+            raw += self.learning_rate * values
         return raw
 
     def predict_proba(self, X) -> np.ndarray:

@@ -12,6 +12,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.learn.base import BaseEstimator, ClassifierMixin, check_is_fitted
 from repro.learn.tree.cart import DecisionTreeClassifier
+from repro.learn.tree.flat import stack_trees
 from repro.learn.validation import (
     check_array,
     check_binary_labels,
@@ -40,6 +41,11 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
     bootstrap : bool
         Draw a bootstrap resample per tree (``False`` = whole set, Azure's
         "resampling method" knob).
+    splitter : {"exact", "hist"}
+        Split search mode passed to every tree (see
+        :class:`~repro.learn.tree.cart.DecisionTreeClassifier`).
+    max_bins : int
+        Histogram bin budget per feature when ``splitter="hist"``.
     random_state : int, Generator, or None
         Seed for all randomness.
     """
@@ -52,6 +58,8 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         min_samples_leaf: int = 1,
         max_features="sqrt",
         bootstrap: bool = True,
+        splitter: str = "exact",
+        max_bins: int = 255,
         random_state=None,
     ):
         self.n_estimators = n_estimators
@@ -60,6 +68,8 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.random_state = random_state
 
     def fit(self, X, y) -> "RandomForestClassifier":
@@ -78,6 +88,8 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
+                splitter=self.splitter,
+                max_bins=self.max_bins,
                 random_state=int(rng.integers(0, 2**31)),
             )
             if self.bootstrap:
@@ -89,6 +101,11 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             else:
                 tree.fit(X, y)
             self.estimators_.append(tree)
+        # Stack the compiled trees so inference is one lock-step array
+        # walk over the whole forest instead of a per-tree Python loop.
+        self.flat_forest_ = stack_trees(
+            [tree.flat_tree_ for tree in self.estimators_]
+        )
         self.n_features_in_ = X.shape[1]
         return self
 
@@ -100,9 +117,9 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
                 f"model was fitted on {self.n_features_in_} features, "
                 f"got {X.shape[1]}"
             )
-        positive = np.mean(
-            [tree.predict_proba(X)[:, 1] for tree in self.estimators_], axis=0
-        )
+        # Same reduction as np.mean over per-tree probability rows — the
+        # stacked flat evaluation yields bit-identical per-tree values.
+        positive = np.mean(self.flat_forest_.predict_values(X), axis=0)
         return np.column_stack([1.0 - positive, positive])
 
     def predict(self, X) -> np.ndarray:

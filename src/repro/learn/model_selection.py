@@ -9,14 +9,22 @@ categorical parameters).
 from __future__ import annotations
 
 import itertools
+import numbers
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import ReproError, ValidationError
 from repro.learn.base import BaseEstimator, clone
+from repro.learn.cache import FitCache, derive_candidate_seed, params_token
 from repro.learn.metrics import f_score
-from repro.learn.validation import check_random_state, check_X_y
+from repro.learn.validation import (
+    DEFAULT_SEED,
+    UNSEEDED,
+    check_random_state,
+    check_X_y,
+)
 
 __all__ = [
     "train_test_split",
@@ -133,12 +141,23 @@ def cross_val_score(
     cv: int = 5,
     scoring: Callable = f_score,
     random_state=None,
+    folds: Sequence[tuple[np.ndarray, np.ndarray]] | None = None,
 ) -> np.ndarray:
-    """Stratified cross-validated scores of a cloned estimator."""
+    """Stratified cross-validated scores of a cloned estimator.
+
+    ``folds`` accepts precomputed ``(train, test)`` index pairs; grid
+    search passes the same fold set to every candidate so the splitter
+    runs once per fit instead of once per candidate.  When omitted, a
+    :class:`StratifiedKFold` seeded by ``random_state`` generates them.
+    """
     X, y = check_X_y(X, y)
-    splitter = StratifiedKFold(n_splits=cv, shuffle=True, random_state=random_state)
+    if folds is None:
+        splitter = StratifiedKFold(
+            n_splits=cv, shuffle=True, random_state=random_state
+        )
+        folds = splitter.split(X, y)
     scores = []
-    for train, test in splitter.split(X, y):
+    for train, test in folds:
         if len(np.unique(y[train])) < 2:
             continue
         model = clone(estimator)
@@ -194,8 +213,72 @@ def paper_numeric_scan(default: float) -> list[float]:
     return [default / 100.0, default, default * 100.0]
 
 
+def _nested_estimators(value) -> Iterator[BaseEstimator]:
+    """Yield every BaseEstimator reachable inside a parameter value."""
+    if isinstance(value, BaseEstimator):
+        yield value
+        for sub in value.get_params().values():
+            yield from _nested_estimators(sub)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _nested_estimators(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _nested_estimators(item)
+
+
+def _inject_fit_cache(estimator: BaseEstimator, cache: FitCache) -> None:
+    """Point every cache-capable nested estimator at the shared cache."""
+    for sub in _nested_estimators(estimator):
+        if "memory" in sub._param_names() and sub.memory is None:
+            sub.set_params(memory=cache)
+
+
+def _evaluate_candidate(
+    candidate: BaseEstimator, X, y, folds, scoring, cache,
+) -> float | None:
+    """Mean CV score of one prepared candidate, or None if it failed.
+
+    A candidate whose parameters are invalid for this dataset (e.g.
+    ``k > n_samples``) is skipped, as a measurement script would skip a
+    failed platform job.
+    """
+    if cache is not None:
+        _inject_fit_cache(candidate, cache)
+    try:
+        scores = cross_val_score(candidate, X, y, scoring=scoring, folds=folds)
+    except ReproError:
+        return None
+    return float(scores.mean())
+
+
+#: Per-process fit cache for the parallel grid-search backend; workers
+#: memoize shared pipeline stages across the candidates they evaluate.
+_WORKER_CACHE: FitCache | None = None
+
+
+def _init_worker_cache(memoize: bool) -> None:
+    """Process-pool initializer: build this worker's fit cache."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = FitCache() if memoize else None
+
+
+def _candidate_worker(payload) -> float | None:
+    """Evaluate one candidate inside a worker process."""
+    candidate, X, y, folds, scoring = payload
+    return _evaluate_candidate(candidate, X, y, folds, scoring, _WORKER_CACHE)
+
+
 class GridSearchCV(BaseEstimator):
     """Exhaustive grid search with cross-validated model selection.
+
+    Fold indices are generated **once per fit** and shared by every
+    parameter candidate, candidate evaluation memoizes shared pipeline
+    stages through a content-keyed :class:`~repro.learn.cache.FitCache`,
+    and ``n_jobs > 1`` fans candidates out over a process pool.  All
+    three are pure wall-clock optimizations: scores and the selected
+    model are identical to the serial, uncached search, and independent
+    of worker count.
 
     Parameters
     ----------
@@ -206,9 +289,20 @@ class GridSearchCV(BaseEstimator):
     cv : int
         Stratified folds.
     scoring : callable
-        ``scoring(y_true, y_pred) -> float``; larger is better.
+        ``scoring(y_true, y_pred) -> float``; larger is better.  Must be
+        picklable (a module-level function) when ``n_jobs > 1``.
     random_state : int, Generator, or None
-        Seed for fold shuffling.
+        Seed for fold shuffling and the per-candidate seed derivation.
+    n_jobs : int
+        Process-pool width for candidate evaluation; ``1`` (default)
+        evaluates serially in-process.  Candidates carrying shared-state
+        seeds (a numpy ``Generator`` or the ``UNSEEDED`` sentinel, both
+        meaningless across process boundaries) are reseeded with
+        crc32-derived per-candidate integers — the same derivation as
+        :mod:`repro.service` — in *both* the serial and parallel paths,
+        so results never depend on worker count.
+    memoize : bool
+        Enable the shared fit cache for pipeline candidates.
     """
 
     def __init__(
@@ -218,41 +312,88 @@ class GridSearchCV(BaseEstimator):
         cv: int = 3,
         scoring: Callable = f_score,
         random_state=None,
+        n_jobs: int = 1,
+        memoize: bool = True,
     ):
         self.estimator = estimator
         self.param_grid = param_grid
         self.cv = cv
         self.scoring = scoring
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.memoize = memoize
+
+    def _base_seed(self) -> int:
+        """Integer root of the per-candidate seed derivation."""
+        if isinstance(self.random_state, numbers.Integral):
+            return int(self.random_state)
+        return DEFAULT_SEED
+
+    def _prepare_candidate(self, params: dict, index: int) -> BaseEstimator:
+        """Clone, configure, and deterministically reseed one candidate."""
+        candidate = clone(self.estimator).set_params(**params)
+        for sub in _nested_estimators(candidate):
+            if "random_state" not in sub._param_names():
+                continue
+            value = sub.random_state
+            if isinstance(value, np.random.Generator) or value is UNSEEDED:
+                seed = derive_candidate_seed(
+                    self._base_seed(), f"grid:{index}:{params_token(params)}"
+                )
+                sub.set_params(random_state=seed)
+        return candidate
 
     def fit(self, X, y) -> "GridSearchCV":
         X, y = check_X_y(X, y)
+        n_jobs = 1 if self.n_jobs is None else int(self.n_jobs)
+        if n_jobs < 1:
+            raise ValidationError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        # Fold indices are a function of (y, cv, random_state) only:
+        # compute them once and share them across every candidate.
+        splitter = StratifiedKFold(
+            n_splits=self.cv, shuffle=True, random_state=self.random_state
+        )
+        folds = list(splitter.split(X, y))
+        grid = list(ParameterGrid(self.param_grid))
+        prepared = [
+            self._prepare_candidate(params, index)
+            for index, params in enumerate(grid)
+        ]
+        if n_jobs == 1:
+            cache = FitCache() if self.memoize else None
+            outcomes = [
+                _evaluate_candidate(candidate, X, y, folds, self.scoring, cache)
+                for candidate in prepared
+            ]
+        else:
+            payloads = [
+                (candidate, X, y, folds, self.scoring)
+                for candidate in prepared
+            ]
+            with ProcessPoolExecutor(
+                max_workers=n_jobs,
+                initializer=_init_worker_cache,
+                initargs=(self.memoize,),
+            ) as pool:
+                outcomes = list(pool.map(_candidate_worker, payloads))
         results = []
         best_score = -np.inf
         best_params: dict = {}
-        for params in ParameterGrid(self.param_grid):
-            candidate = clone(self.estimator).set_params(**params)
-            try:
-                scores = cross_val_score(
-                    candidate, X, y, cv=self.cv,
-                    scoring=self.scoring, random_state=self.random_state,
-                )
-                mean_score = float(scores.mean())
-            except ReproError:
-                # A candidate whose parameters are invalid for this dataset
-                # (e.g. k > n_samples) is skipped, as a measurement script
-                # would skip a failed platform job.
+        best_index = 0
+        for index, (params, mean_score) in enumerate(zip(grid, outcomes)):
+            if mean_score is None:
                 continue
             results.append({"params": params, "mean_score": mean_score})
             if mean_score > best_score:
                 best_score = mean_score
                 best_params = params
+                best_index = index
         if not results:
             raise ValidationError("every grid candidate failed to fit")
         self.cv_results_ = results
         self.best_params_ = best_params
         self.best_score_ = best_score
-        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_ = self._prepare_candidate(best_params, best_index)
         self.best_estimator_.fit(X, y)
         return self
 

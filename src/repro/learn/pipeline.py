@@ -22,10 +22,44 @@ class Pipeline(BaseEstimator, ClassifierMixin):
     steps : list of (name, estimator)
         All but the last must be transformers (have ``transform``); the
         last must be a classifier (have ``predict``).
+    memory : FitCache or None
+        Optional :class:`repro.learn.cache.FitCache` memoizing the
+        transformer stages by content.  Pipelines sharing one cache
+        (e.g. grid-search candidates differing only in classifier
+        parameters) fit each distinct transformer stage once per
+        distinct input; results are bit-identical to fitting uncached.
     """
 
-    def __init__(self, steps: list):
+    def __init__(self, steps: list, memory=None):
         self.steps = steps
+        self.memory = memory
+
+    def set_params(self, **params) -> "Pipeline":
+        """Set pipeline parameters, routing ``<step>__<param>`` to steps.
+
+        Plain names (``steps``, ``memory``) behave as on any estimator;
+        double-underscore names are forwarded to the named step so grid
+        search can sweep e.g. ``classifier__max_depth`` over a pipeline.
+        """
+        nested: dict[str, dict] = {}
+        direct = {}
+        for name, value in params.items():
+            if "__" in name:
+                prefix, _, key = name.partition("__")
+                nested.setdefault(prefix, {})[key] = value
+            else:
+                direct[name] = value
+        super().set_params(**direct)
+        if nested:
+            step_map = dict(self.steps)
+            for prefix, sub_params in nested.items():
+                if prefix not in step_map:
+                    raise ValueError(
+                        f"Invalid parameter prefix {prefix!r} for Pipeline; "
+                        f"step names are {sorted(step_map)}"
+                    )
+                step_map[prefix].set_params(**sub_params)
+        return self
 
     def _validate(self) -> None:
         if not self.steps:
@@ -46,8 +80,11 @@ class Pipeline(BaseEstimator, ClassifierMixin):
         self.fitted_steps_ = []
         data = X
         for name, step in self.steps[:-1]:
-            fitted = clone(step)
-            data = fitted.fit(data, y).transform(data)
+            if self.memory is not None:
+                fitted, data = self.memory.fit_transform(step, data, y)
+            else:
+                fitted = clone(step)
+                data = fitted.fit(data, y).transform(data)
             self.fitted_steps_.append((name, fitted))
         final_name, final_step = self.steps[-1]
         fitted_final = clone(final_step)

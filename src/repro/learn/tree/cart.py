@@ -1,10 +1,15 @@
 """CART decision tree for binary classification.
 
 Available (with varying knobs) on BigML, PredictionIO, Microsoft and the
-local library (Table 1).  Split search is vectorized: for each candidate
-feature the samples are sorted once and every threshold's impurity drop is
-evaluated with cumulative sums, so growing is O(features * n log n) per
-node rather than O(features * n^2).
+local library (Table 1).  Growing runs on the split engines in
+:mod:`repro.learn.tree.splitter`: the default ``splitter="exact"``
+presorts every feature once per tree and partitions the sorted index
+lists down the recursion (bit-identical splits to re-sorting at every
+node, without the per-node ``argsort``), while the opt-in
+``splitter="hist"`` bins features LightGBM-style for large ``n``.
+Fitted trees are additionally lowered into compiled flat arrays
+(:mod:`repro.learn.tree.flat`) so prediction is a vectorized level-wise
+array walk.
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.learn.base import BaseEstimator, ClassifierMixin, check_is_fitted
 from repro.learn.tree.criteria import criterion_function
+from repro.learn.tree.flat import flatten_tree
+from repro.learn.tree.splitter import make_split_engine, scan_sorted_feature
 from repro.learn.validation import (
     check_array,
     check_binary_labels,
@@ -90,9 +97,9 @@ def find_best_split(
     """Find the (feature, threshold) with the largest impurity decrease.
 
     Returns ``(feature, threshold, gain)`` or ``None`` when no valid split
-    exists.  ``y01`` must be 0/1 floats.
+    exists.  ``y01`` must be 0/1 floats.  This is the exact-mode search:
+    every distinct value boundary is a candidate threshold.
     """
-    n_samples = y01.shape[0]
     parent_impurity = float(impurity_fn(y01.mean()))
     if parent_impurity == 0.0:
         return None
@@ -104,42 +111,13 @@ def find_best_split(
     for feature in feature_indices:
         values = X[:, feature]
         order = np.argsort(values, kind="stable")
-        sorted_values = values[order]
-        sorted_y = y01[order]
-        # Candidate split positions: between distinct consecutive values.
-        distinct = sorted_values[1:] != sorted_values[:-1]
-        if not distinct.any():
-            continue
-        positions = np.flatnonzero(distinct) + 1  # left side sizes
-        if min_samples_leaf > 1:
-            positions = positions[
-                (positions >= min_samples_leaf)
-                & (positions <= n_samples - min_samples_leaf)
-            ]
-            if positions.size == 0:
-                continue
-        cum_pos = np.cumsum(sorted_y)
-        left_count = positions.astype(float)
-        right_count = n_samples - left_count
-        left_positive = cum_pos[positions - 1]
-        right_positive = cum_pos[-1] - left_positive
-        left_impurity = impurity_fn(left_positive / left_count)
-        right_impurity = impurity_fn(right_positive / right_count)
-        weighted = (
-            left_count * left_impurity + right_count * right_impurity
-        ) / n_samples
-        gains = parent_impurity - weighted
-        best_local = int(np.argmax(gains))
-        if gains[best_local] > best_gain:
-            split_at = positions[best_local]
-            threshold = 0.5 * (
-                sorted_values[split_at - 1] + sorted_values[split_at]
-            )
-            # Guard against midpoints rounding onto the right value.
-            if threshold >= sorted_values[split_at]:
-                threshold = sorted_values[split_at - 1]
-            best_gain = float(gains[best_local])
-            best = (int(feature), float(threshold), best_gain)
+        found = scan_sorted_feature(
+            values[order], y01[order], impurity_fn, min_samples_leaf,
+            parent_impurity, best_gain,
+        )
+        if found is not None:
+            best_gain, threshold, _ = found
+            best = (int(feature), threshold, best_gain)
     return best
 
 
@@ -159,6 +137,16 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
     max_features : None, "all", "sqrt", "log2", int, or float
         Features examined per split; sampled randomly when fewer than all
         (the randomization behind Random Forests).
+    splitter : {"exact", "hist"}
+        Split search mode.  ``"exact"`` presorts each feature once and
+        considers every distinct value boundary (default; identical
+        splits to the classic per-node search).  ``"hist"`` bins each
+        feature into at most ``max_bins`` quantile bins and splits on
+        bin edges — much faster on large ``n``, approximate thresholds.
+    max_bins : int
+        Bin budget per feature for ``splitter="hist"`` (ignored in exact
+        mode).  Features with at most this many distinct values keep
+        their exact candidate thresholds.
     random_state : int, Generator, or None
         Seed for feature subsampling.
     """
@@ -170,6 +158,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features=None,
+        splitter: str = "exact",
+        max_bins: int = 255,
         random_state=None,
     ):
         self.criterion = criterion
@@ -177,6 +167,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.random_state = random_state
 
     def fit(self, X, y, sample_indices: np.ndarray | None = None) -> "DecisionTreeClassifier":
@@ -200,78 +192,90 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         impurity_fn = criterion_function(self.criterion)
         n_candidate_features = _resolve_max_features(self.max_features, X.shape[1])
         self.n_features_in_ = X.shape[1]
-        self.tree_ = self._grow(
-            X, y01, depth=0, rng=rng, impurity_fn=impurity_fn,
+        self.tree_ = self._build_tree(
+            X, y01, rng=rng, impurity_fn=impurity_fn,
             n_candidate_features=n_candidate_features,
         )
+        self.flat_tree_ = flatten_tree(self.tree_)
         return self
 
-    def _grow(
+    def _build_tree(
         self,
         X: np.ndarray,
         y01: np.ndarray,
-        depth: int,
         rng: np.random.Generator,
         impurity_fn,
         n_candidate_features: int,
     ) -> TreeNode:
+        """Grow the TreeNode graph with the configured split engine."""
+        engine = make_split_engine(
+            self.splitter, X, y01, impurity_fn, self.min_samples_leaf,
+            self.max_bins,
+        )
+        return self._grow(
+            engine, engine.root_state(), depth=0, rng=rng,
+            impurity_fn=impurity_fn,
+            n_candidate_features=n_candidate_features,
+            n_features=X.shape[1],
+        )
+
+    def _grow(
+        self,
+        engine,
+        state,
+        depth: int,
+        rng: np.random.Generator,
+        impurity_fn,
+        n_candidate_features: int,
+        n_features: int,
+    ) -> TreeNode:
+        n_node, positive_fraction = engine.node_stats(state)
         node = TreeNode(
-            positive_fraction=float(y01.mean()),
-            n_samples=y01.shape[0],
+            positive_fraction=positive_fraction,
+            n_samples=n_node,
             depth=depth,
         )
         if (
             (self.max_depth is not None and depth >= self.max_depth)
-            or y01.shape[0] < self.min_samples_split
-            or node.positive_fraction in (0.0, 1.0)
+            or n_node < self.min_samples_split
+            or positive_fraction in (0.0, 1.0)
         ):
             return node
-        if n_candidate_features < X.shape[1]:
+        if n_candidate_features < n_features:
             feature_indices = rng.choice(
-                X.shape[1], size=n_candidate_features, replace=False
+                n_features, size=n_candidate_features, replace=False
             )
         else:
-            feature_indices = np.arange(X.shape[1])
-        split = find_best_split(
-            X, y01, feature_indices, impurity_fn, self.min_samples_leaf
-        )
+            feature_indices = np.arange(n_features)
+        parent_impurity = float(impurity_fn(positive_fraction))
+        if parent_impurity == 0.0:
+            return node
+        split = engine.best_split(state, feature_indices, parent_impurity)
         if split is None:
             return node
-        feature, threshold, _ = split
-        goes_left = X[:, feature] <= threshold
-        if not goes_left.any() or goes_left.all():
+        feature, threshold, handle = split
+        left_state, right_state = engine.partition(
+            state, feature, threshold, handle
+        )
+        left_n = engine.node_stats(left_state)[0] if left_state.size else 0
+        right_n = engine.node_stats(right_state)[0] if right_state.size else 0
+        if left_n == 0 or right_n == 0:
             return node
         node.feature = feature
         node.threshold = threshold
         node.left = self._grow(
-            X[goes_left], y01[goes_left], depth + 1, rng, impurity_fn,
-            n_candidate_features,
+            engine, left_state, depth + 1, rng, impurity_fn,
+            n_candidate_features, n_features,
         )
         node.right = self._grow(
-            X[~goes_left], y01[~goes_left], depth + 1, rng, impurity_fn,
-            n_candidate_features,
+            engine, right_state, depth + 1, rng, impurity_fn,
+            n_candidate_features, n_features,
         )
         return node
 
     def _positive_fractions(self, X: np.ndarray) -> np.ndarray:
-        """Route every sample to its leaf iteratively (no recursion)."""
-        fractions = np.empty(X.shape[0])
-        # Iterative routing with an explicit stack of (node, index array)
-        # avoids per-sample Python overhead on deep trees.
-        stack: list[tuple[TreeNode, np.ndarray]] = [
-            (self.tree_, np.arange(X.shape[0]))
-        ]
-        while stack:
-            node, indices = stack.pop()
-            if indices.size == 0:
-                continue
-            if node.is_leaf:
-                fractions[indices] = node.positive_fraction
-                continue
-            goes_left = X[indices, node.feature] <= node.threshold
-            stack.append((node.left, indices[goes_left]))
-            stack.append((node.right, indices[~goes_left]))
-        return fractions
+        """Route every sample to its leaf via the compiled flat tree."""
+        return self.flat_tree_.predict_value(X)
 
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, "tree_")

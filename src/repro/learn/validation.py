@@ -19,10 +19,29 @@ DEFAULT_SEED = 0
 
 
 class _UnseededSentinel:
-    """Type of :data:`UNSEEDED`; never instantiated elsewhere."""
+    """Type of :data:`UNSEEDED`; never instantiated elsewhere.
+
+    The sentinel is recognized by identity (``random_state is
+    UNSEEDED``), so copying — which :func:`repro.learn.base.clone` does
+    to every parameter — must return the singleton, not a lookalike.
+    """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "repro.learn.validation.UNSEEDED"
+
+    def __copy__(self) -> "_UnseededSentinel":
+        return self
+
+    def __deepcopy__(self, memo) -> "_UnseededSentinel":
+        return self
+
+    def __reduce__(self):
+        return (_unseeded_singleton, ())
+
+
+def _unseeded_singleton() -> "_UnseededSentinel":
+    """Unpickling hook keeping :data:`UNSEEDED` a process-wide singleton."""
+    return UNSEEDED
 
 
 #: Explicit opt-in to a nondeterministic generator.  Passing this as

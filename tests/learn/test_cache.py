@@ -1,0 +1,124 @@
+"""Unit tests for the content-keyed fit cache and seed derivation."""
+
+import copy
+
+import numpy as np
+
+from repro.learn import FitCache, Pipeline, array_digest, derive_candidate_seed
+from repro.learn.cache import params_token
+from repro.learn.feature_selection import SelectKBest
+from repro.learn.linear import LogisticRegression
+from repro.learn.preprocessing import StandardScaler
+from repro.learn.tree import DecisionTreeClassifier
+
+
+def make_data(seed=0, n=80, f=6):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, f))
+    y = (X[:, 0] - X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestArrayDigest:
+    def test_content_determines_digest(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert array_digest(a) == array_digest(a.copy())
+
+    def test_digest_sees_values_dtype_and_shape(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert array_digest(a) != array_digest(a.reshape(4, 3))
+        assert array_digest(a) != array_digest(a.astype(np.float32))
+        b = a.copy()
+        b[0, 0] += 1.0
+        assert array_digest(a) != array_digest(b)
+
+    def test_non_contiguous_input(self):
+        a = np.arange(24.0).reshape(4, 6)
+        assert array_digest(a[:, ::2]) == array_digest(a[:, ::2].copy())
+
+
+class TestParamsToken:
+    def test_nested_estimator_expansion(self):
+        token = params_token(DecisionTreeClassifier(max_depth=3))
+        assert "DecisionTreeClassifier" in token
+        assert "max_depth=3" in token
+
+    def test_generators_with_distinct_state_differ(self):
+        a = np.random.default_rng(1)
+        b = np.random.default_rng(2)
+        assert params_token(a) != params_token(b)
+        c = np.random.default_rng(1)
+        assert params_token(a) == params_token(c)
+
+    def test_dict_order_independent(self):
+        assert params_token({"a": 1, "b": 2}) == params_token({"b": 2, "a": 1})
+
+
+class TestDeriveCandidateSeed:
+    def test_deterministic_and_label_sensitive(self):
+        assert derive_candidate_seed(0, "grid:0") == derive_candidate_seed(
+            0, "grid:0"
+        )
+        assert derive_candidate_seed(0, "grid:0") != derive_candidate_seed(
+            0, "grid:1"
+        )
+        assert derive_candidate_seed(0, "grid:0") != derive_candidate_seed(
+            1, "grid:0"
+        )
+
+    def test_valid_generator_seed(self):
+        seed = derive_candidate_seed(7, "grid:3")
+        assert seed >= 0
+        np.random.default_rng(seed)  # must be a legal seed
+
+
+class TestFitCache:
+    def test_hit_on_identical_content(self):
+        X, y = make_data()
+        cache = FitCache()
+        first = cache.fit_transform(SelectKBest(k=3), X, y)
+        second = cache.fit_transform(SelectKBest(k=3), X.copy(), y.copy())
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert first[0] is second[0]
+        assert np.array_equal(first[1], second[1])
+
+    def test_miss_on_different_params_or_data(self):
+        X, y = make_data()
+        cache = FitCache()
+        cache.fit_transform(SelectKBest(k=3), X, y)
+        cache.fit_transform(SelectKBest(k=4), X, y)
+        cache.fit_transform(SelectKBest(k=3), X + 1.0, y)
+        assert cache.misses == 3
+        assert cache.hits == 0
+        assert len(cache) == 3
+
+    def test_cached_output_matches_uncached(self):
+        X, y = make_data(3)
+        cache = FitCache()
+        _, transformed = cache.fit_transform(StandardScaler(), X, y)
+        expected = StandardScaler().fit(X, y).transform(X)
+        assert np.array_equal(transformed, expected)
+
+    def test_deepcopy_shares_the_store(self):
+        cache = FitCache()
+        assert copy.deepcopy(cache) is cache
+
+    def test_clone_of_pipeline_keeps_cache(self):
+        from repro.learn.base import clone
+
+        cache = FitCache()
+        pipeline = Pipeline(
+            [("scale", StandardScaler()), ("clf", LogisticRegression())],
+            memory=cache,
+        )
+        assert clone(pipeline).memory is cache
+
+    def test_cached_pipeline_matches_uncached(self):
+        X, y = make_data(5)
+        steps = [("scale", StandardScaler()),
+                 ("clf", LogisticRegression(max_iter=50))]
+        cached = Pipeline(list(steps), memory=FitCache()).fit(X, y)
+        plain = Pipeline(list(steps)).fit(X, y)
+        assert np.array_equal(cached.predict(X), plain.predict(X))
+        assert np.array_equal(cached.predict_proba(X), plain.predict_proba(X))
