@@ -16,6 +16,10 @@ Gives downstream users the common study operations without writing code:
 * ``flow``      — project-wide data-flow & architecture analysis
   (layering DAG, leakage taint, seed flow, dead code, API drift); see
   :mod:`repro.tools.flow`.
+* ``race``      — static concurrency & shared-state analysis (lock
+  ordering, unguarded shared writes, check-then-act, process-boundary
+  captures, blocking under locks, shared RNGs); see
+  :mod:`repro.tools.race`.
 
 The study commands accept ``--datasets`` / ``--size-cap`` to bound runtime.
 """
@@ -38,6 +42,8 @@ from repro.tools.flow.cli import configure_parser as _configure_flow_parser
 from repro.tools.flow.cli import run_flow_command
 from repro.tools.lint.cli import configure_parser as _configure_lint_parser
 from repro.tools.lint.cli import run_lint_command
+from repro.tools.race.cli import configure_parser as _configure_race_parser
+from repro.tools.race.cli import run_race_command
 
 __all__ = ["main", "build_parser"]
 
@@ -106,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
         "flow", help="project-wide data-flow & architecture analysis"
     )
     _configure_flow_parser(flow)
+
+    race = sub.add_parser(
+        "race", help="static concurrency & shared-state analysis"
+    )
+    _configure_race_parser(race)
     return parser
 
 
@@ -263,6 +274,8 @@ def main(argv=None, out=None) -> int:
         return run_lint_command(args, out=out)
     if args.command == "flow":
         return run_flow_command(args, out=out)
+    if args.command == "race":
+        return run_race_command(args, out=out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -26,6 +26,7 @@ execution order (the same pattern as per-platform backoff seeds in
 
 from __future__ import annotations
 
+import threading
 import zlib
 
 import numpy as np
@@ -90,17 +91,34 @@ class FitCache:
 
     The cache object is deliberately shared, not cloned: estimators
     holding one as a parameter (``Pipeline(memory=...)``) keep pointing
-    at the same store through :func:`repro.learn.base.clone`.
+    at the same store through :func:`repro.learn.base.clone`.  Because
+    it is shared, lookups and insertions are guarded by a lock and the
+    insert is atomic (``setdefault``): two threads missing the same key
+    both fit, but the store keeps exactly one entry and both callers
+    see the same objects.  Fits themselves run outside the lock, so the
+    cache never serializes compute.  In serial use the hit/miss counts
+    are identical to the unguarded implementation.
     """
 
     def __init__(self):
         self._entries: dict[str, tuple] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __deepcopy__(self, memo) -> "FitCache":
         """Cloning an estimator must share, not fork, its fit cache."""
         return self
+
+    def __getstate__(self) -> dict:
+        """Pickle without the lock (it cannot cross process boundaries)."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -122,13 +140,15 @@ class FitCache:
         and its output are replayed from the store.
         """
         cache_key = self.key(prototype, X, y)
-        entry = self._entries.get(cache_key)
-        if entry is None:
+        with self._lock:
+            entry = self._entries.get(cache_key)
+            if entry is not None:
+                self.hits += 1
+                return entry
             self.misses += 1
-            fitted = clone(prototype)
-            transformed = fitted.fit(X, y).transform(X)
-            entry = (fitted, transformed)
-            self._entries[cache_key] = entry
-        else:
-            self.hits += 1
-        return entry
+        fitted = clone(prototype)
+        transformed = fitted.fit(X, y).transform(X)
+        with self._lock:
+            return self._entries.setdefault(
+                cache_key, (fitted, transformed)
+            )

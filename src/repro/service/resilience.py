@@ -211,7 +211,11 @@ class ResilientClient:
                         outcome="error",
                     )
                     raise
-                u = float(self._rng.uniform(-1.0, 1.0))
+                # Draw under the client lock: with per_platform_cap > 1
+                # two threads retrying the same platform would otherwise
+                # race on the generator's internal state.
+                with self._lock:
+                    u = float(self._rng.uniform(-1.0, 1.0))
                 self.clock.sleep(self.policy.delay(attempts, u))
                 continue
             self.telemetry.record_request(

@@ -239,6 +239,12 @@ class CampaignScheduler:
         tasks: queue.Queue = queue.Queue(maxsize=self.backpressure)
         lock = threading.Lock()
         completed_cv = threading.Condition(lock)
+        # Serializes checkpoint writers only; guards no worker-visible
+        # state, so every other thread keeps making progress while one
+        # writes.  (Checkpointing under ``completed_cv`` would stall the
+        # whole pool for the duration of the file write.)
+        checkpoint_lock = threading.Lock()
+        saved_count = [0]
         in_flight = {name: 0 for name in pending}
         errors: list = []
         progress = {"new": 0}
@@ -257,6 +263,7 @@ class CampaignScheduler:
                     )
                 except Exception as exc:  # re-raised by the dispatcher
                     error, result = exc, None
+                snapshot = None
                 with completed_cv:
                     if error is not None:
                         errors.append(error)
@@ -265,9 +272,17 @@ class CampaignScheduler:
                         progress["new"] += 1
                         if (checkpoint_path is not None
                                 and progress["new"] % checkpoint_every == 0):
-                            _save_completed(slots, checkpoint_path)
+                            snapshot = (progress["new"], list(slots))
                     in_flight[job.platform_name] -= 1
                     completed_cv.notify_all()
+                if snapshot is not None:
+                    count, captured = snapshot
+                    with checkpoint_lock:
+                        # A slower writer with an older snapshot must not
+                        # clobber a newer checkpoint.
+                        if count > saved_count[0]:
+                            saved_count[0] = count
+                            _save_completed(captured, checkpoint_path)  # repro: disable=C205 -- checkpoint_lock serializes writers only; no worker-visible state waits on it
                 tasks.task_done()
 
         threads = [

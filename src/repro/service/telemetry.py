@@ -224,13 +224,13 @@ class Telemetry:
 
     def _counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
-        if counter is None:
+        if counter is None:  # repro: disable=C203 -- private helper: every caller already holds self._lock
             counter = self._counters[name] = Counter(name)
         return counter
 
     def _platform(self, name: str) -> dict:
         entry = self._platforms.get(name)
-        if entry is None:
+        if entry is None:  # repro: disable=C203 -- private helper: every caller already holds self._lock
             entry = self._platforms[name] = {
                 "requests": {}, "errors": {}, "retries": 0,
             }

@@ -4,6 +4,19 @@
     AST-based invariant checker (``repro lint``) enforcing the
     reproduction's contracts: determinism, the estimator protocol,
     Table 1 conformance, exception hygiene and export sync.
+
+``repro.tools.flow``
+    Project-wide data-flow & architecture analyzer (``repro flow``):
+    layering DAG, leakage taint, seed flow, dead code, API drift.
+
+``repro.tools.race``
+    Static concurrency & shared-state analyzer (``repro race``): lock
+    ordering, unguarded shared writes, check-then-act races,
+    process-boundary captures, blocking under locks, shared RNGs.
+
+``repro.tools.indexing``
+    Memoized project loading shared by the analyzers, so one process
+    running several tools parses and indexes the tree exactly once.
 """
 
 from repro.tools.lint import (
@@ -12,5 +25,12 @@ from repro.tools.lint import (
     lint_paths,
     lint_source,
 )
+from repro.tools.race import race_paths
 
-__all__ = ["LintResult", "Violation", "lint_paths", "lint_source"]
+__all__ = [
+    "LintResult",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "race_paths",
+]

@@ -63,7 +63,8 @@ LAYERS = (
         name="interface",
         packages=("repro", "repro.cli", "repro.tools",
                   "benchmarks", "examples", "tests"),
-        description="CLI, static-analysis tools, facade, benches, examples",
+        description="CLI, static-analysis tools (lint/flow/race + shared "
+                    "indexing), facade, benches, examples",
     ),
 )
 

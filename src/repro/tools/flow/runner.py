@@ -18,17 +18,15 @@ from typing import Sequence
 # Importing the lint rules fills RULE_REGISTRY, so flow runs recognize
 # R-code suppressions as known companion codes.
 import repro.tools.lint.rules  # noqa: F401  (registration side effect)
-from repro.tools.flow.graph import FlowIndex, build_index
+from repro.tools.flow.graph import FlowIndex
 from repro.tools.flow.rules import default_flow_rules
+from repro.tools.indexing import load_indexed_project
 from repro.tools.lint.engine import (
     ENGINE_CODE,
     RULE_REGISTRY,
     LintResult,
-    Project,
     Violation,
     apply_suppressions,
-    iter_python_files,
-    load_module,
     suppression_violations,
 )
 
@@ -67,20 +65,6 @@ def detect_context_paths(paths: Sequence) -> list:
     return []
 
 
-def _load_project(paths: Sequence, root: Path | None) -> tuple:
-    """Parse ``paths`` into a Project; returns (project, violations, n)."""
-    project = Project()
-    violations: list[Violation] = []
-    n_files = 0
-    for path in iter_python_files(paths):
-        n_files += 1
-        module, parse_violations = load_module(path, root=root)
-        violations.extend(parse_violations)
-        if module is not None:
-            project.modules.append(module)
-    return project, violations, n_files
-
-
 def build_flow_index(
     paths: Sequence,
     root: Path | None = None,
@@ -90,19 +74,15 @@ def build_flow_index(
 
     ``context_paths=None`` auto-detects sibling benchmarks/examples/tests
     via :func:`detect_context_paths`; pass ``()`` to analyze in isolation.
+    Loading is memoized by :mod:`repro.tools.indexing`, so a ``repro
+    race`` run over the same tree reuses this index instead of parsing
+    the project twice.
     """
-    project, _, _ = _load_project(paths, root)
     if context_paths is None:
         context_paths = detect_context_paths(paths)
-    analyzed = {module.path.resolve() for module in project.modules}
-    context_modules = []
-    for path in iter_python_files(context_paths):
-        if path.resolve() in analyzed:
-            continue
-        module, _ = load_module(path, root=root)
-        if module is not None:
-            context_modules.append(module)
-    return build_index(project, context_modules=context_modules)
+    return load_indexed_project(
+        paths, root=root, context_paths=context_paths,
+    ).index
 
 
 def run_flow(
@@ -118,18 +98,14 @@ def run_flow(
     index, or not — unbound rules get the shared index injected) to focus
     a run.  ``spec_path`` overrides where F105 reads ``api_spec.json``.
     """
-    project, violations, n_files = _load_project(paths, root)
     if context_paths is None:
         context_paths = detect_context_paths(paths)
-    analyzed = {module.path.resolve() for module in project.modules}
-    context_modules = []
-    for path in iter_python_files(context_paths):
-        if path.resolve() in analyzed:
-            continue
-        module, _ = load_module(path, root=root)
-        if module is not None:
-            context_modules.append(module)
-    index = build_index(project, context_modules=context_modules)
+    loaded = load_indexed_project(paths, root=root,
+                                  context_paths=context_paths)
+    project = loaded.project
+    violations: list[Violation] = list(loaded.parse_violations)
+    n_files = loaded.n_files
+    index = loaded.index
 
     if rules is None:
         rules = default_flow_rules(index, spec_path=spec_path)

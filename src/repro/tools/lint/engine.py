@@ -56,9 +56,13 @@ ENGINE_CODE = "R000"
 
 #: Codes owned by companion analyzers sharing the ``# repro: disable=``
 #: comment syntax in the same source tree.  ``repro lint`` must not report
-#: a justified ``repro flow`` suppression as an unknown code (and vice
-#: versa: the flow runner includes the R-codes in its known set).
-COMPANION_CODES = frozenset({"F101", "F102", "F103", "F104", "F105"})
+#: a justified ``repro flow`` or ``repro race`` suppression as an unknown
+#: code (and vice versa: the flow and race runners include the R-codes in
+#: their known sets).
+COMPANION_CODES = frozenset({
+    "F101", "F102", "F103", "F104", "F105",
+    "C201", "C202", "C203", "C204", "C205", "C206",
+})
 
 _SUPPRESSION_RE = re.compile(
     r"#\s*repro:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"

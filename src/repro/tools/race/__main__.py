@@ -1,0 +1,6 @@
+"""``python -m repro.tools.race`` — run the concurrency analyzer."""
+
+from repro.tools.race.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

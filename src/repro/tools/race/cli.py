@@ -1,0 +1,93 @@
+"""Command-line front end: ``repro race`` / ``python -m repro.tools.race``.
+
+Same exit-code convention as ``repro lint`` and ``repro flow``:
+
+* ``0`` — clean (suppressed findings allowed);
+* ``1`` — at least one unsuppressed violation;
+* ``2`` — usage error (nonexistent path, no files found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.tools.lint.reporters import REPORTERS
+from repro.tools.race.rules import default_race_rules
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "build_parser",
+    "configure_parser",
+    "main",
+    "run_race_command",
+]
+
+#: Default analysis target: the package's own source tree.
+DEFAULT_TARGET = Path(__file__).resolve().parents[2]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the race arguments to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include justified suppressions in the report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the race rule codes and exit",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the standalone parser for ``python -m repro.tools.race``."""
+    parser = argparse.ArgumentParser(
+        prog="repro race",
+        description="static concurrency and shared-state analyzer "
+                    "for the MLaaS reproduction",
+    )
+    return configure_parser(parser)
+
+
+def _print_rules(out) -> int:
+    for rule in default_race_rules():
+        print(f"{rule.code}  {rule.name:<22} {rule.description}", file=out)
+    return 0
+
+
+def run_race_command(args: argparse.Namespace, out=None) -> int:
+    """Execute a parsed race invocation; returns the exit code."""
+    out = out or sys.stdout
+    if args.list_rules:
+        return _print_rules(out)
+    paths = args.paths or [DEFAULT_TARGET]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+            return 2
+    from repro.tools.race.runner import run_race
+
+    result = run_race(paths, root=Path.cwd())
+    if result.n_files == 0:
+        print("error: no python files found under the given paths",
+              file=sys.stderr)
+        return 2
+    reporter = REPORTERS[args.format]
+    print(reporter(result, show_suppressed=args.show_suppressed), file=out)
+    return result.exit_code
+
+
+def main(argv=None, out=None) -> int:
+    """Entry point for ``python -m repro.tools.race``."""
+    args = build_parser().parse_args(argv)
+    return run_race_command(args, out=out)

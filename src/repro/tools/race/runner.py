@@ -1,0 +1,79 @@
+"""Driver for one ``repro race`` run.
+
+Mirrors the flow runner end to end: files are parsed once through the
+memoized :mod:`repro.tools.indexing` facade (so a ``repro flow`` run in
+the same process shares the parse and the flow index), the concurrency
+model is built once, injected into every C-rule, and the findings flow
+through the lint engine's suppression and reporting machinery unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+# Importing the lint rules fills RULE_REGISTRY, so race runs recognize
+# R-code suppressions as known companion codes.
+import repro.tools.lint.rules  # noqa: F401  (registration side effect)
+from repro.tools.flow.runner import detect_context_paths
+from repro.tools.indexing import load_indexed_project
+from repro.tools.lint.engine import (
+    COMPANION_CODES,
+    ENGINE_CODE,
+    RULE_REGISTRY,
+    LintResult,
+    Violation,
+    apply_suppressions,
+    suppression_violations,
+)
+from repro.tools.race.concurrency import build_concurrency
+from repro.tools.race.rules import default_race_rules
+
+__all__ = [
+    "run_race",
+]
+
+
+def run_race(
+    paths: Sequence,
+    rules: Sequence | None = None,
+    root: Path | None = None,
+    context_paths: Sequence | None = None,
+) -> LintResult:
+    """Run the C-rules over ``paths``; mirrors ``run_lint``'s contract.
+
+    ``rules=None`` runs every C-rule; pass a subset (bound to a
+    concurrency index or not — unbound rules get the shared one
+    injected) to focus a run.
+    """
+    if context_paths is None:
+        context_paths = detect_context_paths(paths)
+    loaded = load_indexed_project(paths, root=root,
+                                  context_paths=context_paths)
+    project = loaded.project
+    violations: list[Violation] = list(loaded.parse_violations)
+    con = build_concurrency(loaded.index)
+
+    if rules is None:
+        rules = default_race_rules(con)
+    for rule in rules:
+        if getattr(rule, "con", None) is None:
+            rule.con = con
+
+    known_codes = (
+        {rule.code for rule in rules}
+        | set(RULE_REGISTRY)
+        | set(COMPANION_CODES)
+        | {ENGINE_CODE}
+    )
+    for module in project.modules:
+        violations.extend(suppression_violations(module, known_codes))
+        for rule in rules:
+            violations.extend(rule.check_module(module, project))
+    for rule in rules:
+        violations.extend(rule.check_project(project))
+
+    modules_by_path = {m.relpath: m for m in project.modules}
+    violations = apply_suppressions(violations, modules_by_path)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return LintResult(violations=violations, n_files=loaded.n_files)

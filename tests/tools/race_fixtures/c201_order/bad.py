@@ -1,0 +1,24 @@
+"""C201 firing fixture: conflicting lock orders and a self-deadlock."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def forward():
+    with lock_a:
+        with lock_b:
+            pass
+
+
+def backward():
+    with lock_b:
+        with lock_a:
+            pass
+
+
+def relock():
+    with lock_a:
+        with lock_a:  # non-reentrant re-acquisition: self-deadlock
+            pass

@@ -1,0 +1,22 @@
+"""C201 firing fixture: the inversion hides behind a call boundary."""
+
+import threading
+
+lock_x = threading.Lock()
+lock_y = threading.Lock()
+
+
+def take_y():
+    with lock_y:
+        pass
+
+
+def outer():
+    with lock_x:
+        take_y()  # acquires y while holding x
+
+
+def reverse():
+    with lock_y:
+        with lock_x:  # acquires x while holding y: cycle with outer()
+            pass

@@ -1,0 +1,25 @@
+"""C201 clean fixture: one global order, reentrant re-entry."""
+
+import threading
+
+first = threading.Lock()
+second = threading.Lock()
+reentrant = threading.RLock()
+
+
+def ordered_one():
+    with first:
+        with second:
+            pass
+
+
+def ordered_two():
+    with first:
+        with second:
+            pass
+
+
+def reenter():
+    with reentrant:
+        with reentrant:  # RLock: legal
+            pass

@@ -1,0 +1,25 @@
+"""C202 firing fixture: worker threads write shared state off-lock."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+counts = {}
+
+
+def tally(key):
+    counts[key] = 1  # module-global written by pool workers
+
+
+def run_pool(keys):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for key in keys:
+            pool.submit(tally, key)
+
+
+def run_closure(results):
+    def worker():
+        results["x"] = 1  # closure capture written off-lock
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()

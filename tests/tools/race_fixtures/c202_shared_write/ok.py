@@ -1,0 +1,29 @@
+"""C202 clean fixture: the same writes, but under a lock (or to a queue)."""
+
+import queue
+import threading
+
+
+def run_locked(results):
+    lock = threading.Lock()
+
+    def worker():
+        with lock:
+            results["x"] = 1
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+
+
+def run_queue(items):
+    out = queue.Queue()
+
+    def worker():
+        for item in items:
+            out.put(item)  # queues are thread-safe by design
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    return out

@@ -1,0 +1,19 @@
+"""C203 firing fixture: non-atomic check-then-act in a lock-owning class."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def ensure_get(self, key):
+        item = self._items.get(key)
+        if item is None:  # another thread can insert between check and store
+            item = self._items[key] = object()
+        return item
+
+    def ensure_membership(self, key, value):
+        if key not in self._items:
+            self._items[key] = value

@@ -1,0 +1,30 @@
+"""C203 clean fixture: the same patterns made atomic (or not shared)."""
+
+import threading
+
+
+class SafeRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def ensure_get(self, key):
+        with self._lock:
+            item = self._items.get(key)
+            if item is None:
+                item = self._items[key] = object()
+        return item
+
+    def ensure_atomic(self, key, value):
+        return self._items.setdefault(key, value)
+
+
+class PlainBox:
+    """Owns no lock: not thread-shared, so check-then-act is fine."""
+
+    def __init__(self):
+        self._items = {}
+
+    def ensure(self, key, value):
+        if key not in self._items:
+            self._items[key] = value

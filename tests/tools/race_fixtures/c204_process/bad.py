@@ -1,0 +1,40 @@
+"""C204 firing fixture: unpicklable things crossing the process boundary."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def compute(x):
+    return x
+
+
+def run(jobs):
+    lock = threading.Lock()
+
+    def helper(job):
+        return job
+
+    with ProcessPoolExecutor() as pool:
+        pool.submit(lambda: 1)  # lambdas cannot be pickled
+        pool.submit(helper, jobs[0])  # closures cannot be pickled
+        pool.submit(compute, lock)  # a lock cannot cross the boundary
+
+
+def run_init(items):
+    def setup():
+        pass
+
+    with ProcessPoolExecutor(initializer=setup) as pool:
+        return list(pool.map(compute, items))
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def compute(self, x):
+        return x
+
+    def run(self, xs):
+        with ProcessPoolExecutor() as pool:
+            return [pool.submit(self.compute, x) for x in xs]

@@ -1,0 +1,22 @@
+"""C204 clean fixture: module-level function, plain-data arguments."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def compute(x):
+    return x * x
+
+
+def _setup(verbose):
+    return verbose
+
+
+def run(xs):
+    with ProcessPoolExecutor(initializer=_setup, initargs=(False,)) as pool:
+        return list(pool.map(compute, xs))
+
+
+def run_submit(xs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(compute, x) for x in xs]
+    return [f.result() for f in futures]

@@ -1,0 +1,26 @@
+"""C205 firing fixture: blocking work while holding a lock."""
+
+import threading
+import time
+
+lock = threading.Lock()
+
+
+def slow_write(path, payload):
+    path.write_text(payload)
+
+
+def direct(path):
+    with lock:
+        time.sleep(0.1)  # every other thread stalls on the lock
+        path.write_text("x")
+
+
+def through_call(path):
+    with lock:
+        slow_write(path, "y")  # callee does the file I/O
+
+
+def waits_elsewhere(other):
+    with lock:
+        other.result()  # Future.result under the lock

@@ -1,0 +1,19 @@
+"""C205 clean fixture: snapshot under the lock, block outside it."""
+
+import threading
+import time
+
+lock = threading.Lock()
+cv = threading.Condition(lock)
+
+
+def prepare_then_write(path):
+    with lock:
+        payload = "z"
+    path.write_text(payload)
+    time.sleep(0.1)
+
+
+def wait_on_held_condition():
+    with cv:
+        cv.wait()  # releases the lock while waiting: sanctioned protocol

@@ -1,0 +1,35 @@
+"""C206 firing fixture: one Generator reachable from many workers."""
+
+import threading
+
+import numpy as np
+
+
+class Sampler:
+    def __init__(self, seed):
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self):
+        return self._rng.uniform()  # off-lock draw in a lock-owning class
+
+
+def consume(rng, results):
+    results.append(rng.uniform())
+
+
+def run_closure(results):
+    rng = np.random.default_rng(0)
+
+    def worker():
+        results.append(rng.uniform())  # one generator, many workers
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+
+
+def run_args(results):
+    rng = np.random.default_rng(1)
+    thread = threading.Thread(target=consume, args=(rng, results))
+    thread.start()

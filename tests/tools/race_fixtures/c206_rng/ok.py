@@ -1,0 +1,29 @@
+"""C206 clean fixture: locked class draws, per-task seeded generators."""
+
+import threading
+
+import numpy as np
+
+
+class SeededSampler:
+    def __init__(self, seed):
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self):
+        with self._lock:
+            return self._rng.uniform()
+
+
+def worker_body(seed, results):
+    rng = np.random.default_rng(seed)  # private, per-task generator
+    results.append(rng.uniform())
+
+
+def run(results, seeds):
+    threads = [
+        threading.Thread(target=worker_body, args=(seed, results))
+        for seed in seeds
+    ]
+    for thread in threads:
+        thread.start()

@@ -1,0 +1,98 @@
+"""Tests for the memoized project-loading facade shared by the analyzers."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.tools.indexing import (
+    clear_index_cache,
+    index_cache_info,
+    load_indexed_project,
+)
+
+SOURCE_ROOT = Path(repro.__file__).resolve().parent
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_index_cache()
+    yield
+    clear_index_cache()
+
+
+def write_tree(tmp_path):
+    tmp_path.mkdir(exist_ok=True)
+    (tmp_path / "alpha.py").write_text(
+        '"""Alpha."""\n\n__all__ = ["one"]\n\n\ndef one():\n    return 1\n',
+        encoding="utf-8",
+    )
+    (tmp_path / "beta.py").write_text(
+        '"""Beta."""\n\n__all__ = ["two"]\n\n\ndef two():\n    return 2\n',
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def test_identical_arguments_hit_the_cache(tmp_path):
+    tree = write_tree(tmp_path)
+    first = load_indexed_project([tree], root=tree)
+    second = load_indexed_project([tree], root=tree)
+    assert second is first  # the exact same object, not an equal copy
+    info = index_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+    assert first.n_files == 2
+    assert {m.dotted_name for m in first.project.modules} == {"alpha", "beta"}
+
+
+def test_touching_a_file_invalidates_the_entry(tmp_path):
+    tree = write_tree(tmp_path)
+    first = load_indexed_project([tree], root=tree)
+    target = tree / "alpha.py"
+    target.write_text(
+        target.read_text(encoding="utf-8").replace("return 1", "return 10"),
+        encoding="utf-8",
+    )
+    second = load_indexed_project([tree], root=tree)
+    assert second is not first
+    assert index_cache_info()["misses"] == 2
+
+
+def test_different_context_paths_are_distinct_entries(tmp_path):
+    tree = write_tree(tmp_path / "pkg")
+    context = tmp_path / "ctx"
+    context.mkdir()
+    (context / "uses.py").write_text(
+        '"""Ctx."""\n\nfrom alpha import one\n\nprint(one())\n',
+        encoding="utf-8",
+    )
+    bare = load_indexed_project([tree], root=tree)
+    with_context = load_indexed_project([tree], root=tree,
+                                        context_paths=[context])
+    assert with_context is not bare
+    assert len(with_context.context_modules) == 1
+    assert index_cache_info()["misses"] == 2
+
+
+def test_flow_and_race_share_one_parse_of_the_real_tree():
+    from repro.tools.flow import flow_paths
+    from repro.tools.race import race_paths
+
+    flow_paths([SOURCE_ROOT])
+    after_flow = index_cache_info()
+    race_paths([SOURCE_ROOT])
+    after_race = index_cache_info()
+    assert after_race["misses"] == after_flow["misses"]  # no re-parse
+    assert after_race["hits"] > after_flow["hits"]
+
+
+def test_callers_must_copy_parse_violations(tmp_path):
+    tree = write_tree(tmp_path)
+    (tree / "broken.py").write_text("def nope(:\n", encoding="utf-8")
+    loaded = load_indexed_project([tree], root=tree)
+    assert len(loaded.parse_violations) == 1
+    # The documented contract: consumers copy before appending, so the
+    # cached list is still pristine for the next tool in the process.
+    again = load_indexed_project([tree], root=tree)
+    assert again.parse_violations == loaded.parse_violations
+    assert len(again.parse_violations) == 1
