@@ -196,6 +196,7 @@ def train_family_predictors(
     """
     rng = check_random_state(random_state)
     predictors: dict[str, FamilyPredictor] = {}
+    # repro: disable=P304 -- one meta-classifier fit per distinct dataset with a fresh seed; no input ever repeats, so a fit cache could not hit
     for dataset, samples in observations.items():
         predictor = FamilyPredictor(
             dataset=dataset,

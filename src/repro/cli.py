@@ -20,8 +20,14 @@ Gives downstream users the common study operations without writing code:
   ordering, unguarded shared writes, check-then-act, process-boundary
   captures, blocking under locks, shared RNGs); see
   :mod:`repro.tools.race`.
+* ``perf``      — static complexity & hot-path analysis (axis loops,
+  quadratic growth, invariant calls, uncached refits, complexity-spec
+  conformance, hot-loop allocations); see :mod:`repro.tools.perf`.
 
-The study commands accept ``--datasets`` / ``--size-cap`` to bound runtime.
+The study commands accept ``--datasets`` / ``--size-cap`` to bound
+runtime.  The four analyzer subcommands share the exit-code taxonomy of
+:mod:`repro.tools.exitcodes`: 0 clean, 1 findings, 2 usage error,
+3 analyzer crash.
 """
 
 from __future__ import annotations
@@ -38,10 +44,13 @@ from repro.analysis import (
 from repro.core import MLaaSStudy, StudyScale
 from repro.datasets import CORPUS, load_dataset
 from repro.platforms import ALL_PLATFORMS, make_platform
+from repro.tools.exitcodes import run_guarded
 from repro.tools.flow.cli import configure_parser as _configure_flow_parser
 from repro.tools.flow.cli import run_flow_command
 from repro.tools.lint.cli import configure_parser as _configure_lint_parser
 from repro.tools.lint.cli import run_lint_command
+from repro.tools.perf.cli import configure_parser as _configure_perf_parser
+from repro.tools.perf.cli import run_perf_command
 from repro.tools.race.cli import configure_parser as _configure_race_parser
 from repro.tools.race.cli import run_race_command
 
@@ -117,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
         "race", help="static concurrency & shared-state analysis"
     )
     _configure_race_parser(race)
+
+    perf = sub.add_parser(
+        "perf", help="static complexity & hot-path analysis"
+    )
+    _configure_perf_parser(perf)
     return parser
 
 
@@ -271,11 +285,13 @@ def main(argv=None, out=None) -> int:
     if args.command == "boundary":
         return _cmd_boundary(args, out=out)
     if args.command == "lint":
-        return run_lint_command(args, out=out)
+        return run_guarded(run_lint_command, args, out=out)
     if args.command == "flow":
-        return run_flow_command(args, out=out)
+        return run_guarded(run_flow_command, args, out=out)
     if args.command == "race":
-        return run_race_command(args, out=out)
+        return run_guarded(run_race_command, args, out=out)
+    if args.command == "perf":
+        return run_guarded(run_perf_command, args, out=out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -102,6 +102,7 @@ def _render_categorical(
     paper's UCI datasets are.
     """
     table = X.astype(object)
+    # repro: disable=P301 -- each column draws its own level count from the RNG, so columns are sequential by design; the within-column binning is already vectorized
     for column in columns:
         n_levels = int(rng.integers(3, 9))
         values = X[:, column].astype(float)

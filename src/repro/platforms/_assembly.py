@@ -66,9 +66,19 @@ def wrap_with_feature_step(
     estimator: BaseEstimator,
     feature_selection: str | None,
     registry: dict,
+    memory=None,
 ) -> BaseEstimator:
-    """Wrap an estimator in a pipeline when feature selection is set."""
+    """Wrap an estimator in a pipeline when feature selection is set.
+
+    ``memory`` (a :class:`~repro.learn.cache.FitCache`) is handed to the
+    pipeline so the feature step's pure ``fit_transform`` is computed
+    once per (step parameters, data) across a platform's training jobs:
+    a parameter sweep re-fits the classifier per job but the shared
+    feature step only on the first.
+    """
     if feature_selection is None:
         return estimator
     step = build_feature_step(feature_selection, registry)
-    return Pipeline([("features", step), ("classifier", estimator)])
+    return Pipeline(
+        [("features", step), ("classifier", estimator)], memory=memory
+    )

@@ -35,6 +35,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.learn.base import BaseEstimator
+from repro.learn.cache import FitCache
 from repro.learn.validation import check_X_y
 
 __all__ = [
@@ -293,6 +294,11 @@ class MLaaSPlatform:
         self._models: dict[str, ModelHandle] = {}
         self._job_queue: deque[str] = deque()
         self._counter = itertools.count(1)
+        #: Content-keyed memo for pure pipeline-stage fits: a parameter
+        #: sweep over one dataset re-fits the classifier per job but the
+        #: shared feature-selection step only once (vendors pass this to
+        #: their ``_assemble`` pipelines).
+        self._fit_cache = FitCache()
 
     def _consume_request(self) -> None:
         """Record one API request, enforcing the rolling-minute quota."""
@@ -333,6 +339,10 @@ class MLaaSPlatform:
         if dataset_id not in self._datasets:
             raise ResourceNotFoundError(f"no dataset {dataset_id!r}")
         del self._datasets[dataset_id]
+        if not self._datasets:
+            # No data left to train on: drop the memoized stage fits so
+            # a long-lived platform does not pin dead arrays.
+            self._fit_cache = FitCache()
 
     def list_datasets(self) -> list[str]:
         """Ids of all stored datasets."""

@@ -245,5 +245,6 @@ class LocalLibrary(MLaaSPlatform):
         option = self.controls.classifier(handle.classifier_abbr)
         estimator = option.build(handle.params, self._job_seed(handle))
         return wrap_with_feature_step(
-            estimator, handle.feature_selection, LOCAL_FEATURE_SELECTORS
+            estimator, handle.feature_selection, LOCAL_FEATURE_SELECTORS,
+            memory=self._fit_cache,
         )

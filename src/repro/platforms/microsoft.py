@@ -226,5 +226,6 @@ class Microsoft(MLaaSPlatform):
         option = self.controls.classifier(handle.classifier_abbr)
         estimator = option.build(handle.params, self._job_seed(handle))
         return wrap_with_feature_step(
-            estimator, handle.feature_selection, MICROSOFT_FEATURE_SELECTORS
+            estimator, handle.feature_selection, MICROSOFT_FEATURE_SELECTORS,
+            memory=self._fit_cache,
         )

@@ -14,17 +14,28 @@
     ordering, unguarded shared writes, check-then-act races,
     process-boundary captures, blocking under locks, shared RNGs.
 
+``repro.tools.perf``
+    Static complexity & hot-path analyzer (``repro perf``): axis loops,
+    quadratic growth, invariant calls, uncached refits, complexity-spec
+    conformance, hot-loop allocations.
+
 ``repro.tools.indexing``
     Memoized project loading shared by the analyzers, so one process
     running several tools parses and indexes the tree exactly once.
+
+``repro.tools.exitcodes``
+    The exit-code taxonomy (clean / findings / usage / crash) every
+    analyzer CLI reports through.
 """
 
+from repro.tools.exitcodes import run_guarded
 from repro.tools.lint import (
     LintResult,
     Violation,
     lint_paths,
     lint_source,
 )
+from repro.tools.perf import perf_paths
 from repro.tools.race import race_paths
 
 __all__ = [
@@ -32,5 +43,7 @@ __all__ = [
     "Violation",
     "lint_paths",
     "lint_source",
+    "perf_paths",
     "race_paths",
+    "run_guarded",
 ]

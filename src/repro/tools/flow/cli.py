@@ -1,10 +1,11 @@
 """Command-line front end: ``repro flow`` / ``python -m repro.tools.flow``.
 
-Same exit-code convention as ``repro lint``:
+Same exit-code taxonomy as ``repro lint`` (:mod:`repro.tools.exitcodes`):
 
 * ``0`` — clean (suppressed findings allowed), or spec updated;
 * ``1`` — at least one unsuppressed violation;
-* ``2`` — usage error (nonexistent path, no files found).
+* ``2`` — usage error (nonexistent path, no files found);
+* ``3`` — the analyzer itself crashed (traceback on stderr).
 
 ``--update-spec`` re-extracts the public API surface and rewrites
 ``api_spec.json`` instead of diffing against it — the sanctioned way to
@@ -115,5 +116,7 @@ def run_flow_command(args: argparse.Namespace, out=None) -> int:
 
 def main(argv=None, out=None) -> int:
     """Entry point for ``python -m repro.tools.flow``."""
+    from repro.tools.exitcodes import run_guarded
+
     args = build_parser().parse_args(argv)
-    return run_flow_command(args, out=out)
+    return run_guarded(run_flow_command, args, out=out)

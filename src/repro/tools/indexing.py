@@ -1,8 +1,8 @@
 """Shared, cached project loading for the static-analysis tools.
 
-``repro lint``, ``repro flow``, and ``repro race`` all start the same
-way: discover the Python files, parse each one exactly once, and (for
-the cross-module analyzers) build the shared
+``repro lint``, ``repro flow``, ``repro race``, and ``repro perf`` all
+start the same way: discover the Python files, parse each one exactly
+once, and (for the cross-module analyzers) build the shared
 :class:`~repro.tools.flow.graph.FlowIndex` of symbols, imports, and
 calls.  When the analyzers run from one process — the combined CI job,
 the dogfood test gates, or a ``repro flow && repro race`` script driving
@@ -54,11 +54,26 @@ class IndexedProject:
     index: FlowIndex
     parse_violations: list = field(default_factory=list)
     n_files: int = 0
+    _loop_model: object = None
 
     @property
     def context_modules(self) -> list:
         """Benchmark/example/test modules parsed alongside the project."""
         return self.index.context_modules
+
+    def loop_model(self):
+        """The perf analyzer's loop-nest model, built lazily and memoized.
+
+        Lives on the cached entry so repeated ``repro perf`` runs over an
+        unchanged tree share the model the way all tools share the parse.
+        The import is deferred: only perf runs pay for it, and the perf
+        package can import this facade without a cycle.
+        """
+        if self._loop_model is None:
+            from repro.tools.perf.loops import build_loop_model
+
+            self._loop_model = build_loop_model(self.index)
+        return self._loop_model
 
 
 def _stat_entries(paths: Sequence) -> tuple:

@@ -1,10 +1,12 @@
 """Command-line front end: ``repro lint`` / ``python -m repro.tools.lint``.
 
-Exit codes follow the convention the test gate and CI rely on:
+Exit codes follow the shared taxonomy of :mod:`repro.tools.exitcodes`,
+which the test gate and CI rely on:
 
 * ``0`` — every checked file is clean (suppressed findings allowed);
 * ``1`` — at least one unsuppressed violation;
-* ``2`` — usage error (unknown flag, nonexistent path, no files found).
+* ``2`` — usage error (unknown flag, nonexistent path, no files found);
+* ``3`` — the analyzer itself crashed (traceback on stderr).
 """
 
 from __future__ import annotations
@@ -89,5 +91,7 @@ def run_lint_command(args: argparse.Namespace, out=None) -> int:
 
 def main(argv=None, out=None) -> int:
     """Entry point for ``python -m repro.tools.lint``."""
+    from repro.tools.exitcodes import run_guarded
+
     args = build_parser().parse_args(argv)
-    return run_lint_command(args, out=out)
+    return run_guarded(run_lint_command, args, out=out)

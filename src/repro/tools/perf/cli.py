@@ -1,0 +1,146 @@
+"""Command-line front end: ``repro perf`` / ``python -m repro.tools.perf``.
+
+Exit codes follow the shared taxonomy of :mod:`repro.tools.exitcodes`:
+
+* ``0`` — clean (suppressed findings allowed, or ``--update-spec`` ran);
+* ``1`` — at least one unsuppressed violation;
+* ``2`` — usage error (nonexistent path, no files found, bad profile);
+* ``3`` — the analyzer itself crashed (traceback on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.tools.exitcodes import EXIT_USAGE, run_guarded
+from repro.tools.lint.reporters import REPORTERS
+from repro.tools.perf.complexity import DEFAULT_SPEC_PATH
+from repro.tools.perf.rules import default_perf_rules
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "build_parser",
+    "configure_parser",
+    "main",
+    "run_perf_command",
+]
+
+#: Default analysis target: the package's own source tree.
+DEFAULT_TARGET = Path(__file__).resolve().parents[2]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the perf arguments to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include justified suppressions in the report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the perf rule codes and exit",
+    )
+    parser.add_argument(
+        "--top", type=int, metavar="N", default=0,
+        help="append a ranked top-N hotspot section to the text report",
+    )
+    parser.add_argument(
+        "--profile", type=Path, metavar="JSON",
+        help="cProfile-derived JSON (see repro.tools.perf.report) used "
+             "to re-rank the hotspot section by observed time",
+    )
+    parser.add_argument(
+        "--spec", type=Path, metavar="PATH", default=DEFAULT_SPEC_PATH,
+        help="complexity spec to check against (default: the checked-in "
+             "complexity_spec.py)",
+    )
+    parser.add_argument(
+        "--update-spec", action="store_true",
+        help="rewrite the complexity spec from the analyzed tree "
+             "instead of checking against it",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the standalone parser for ``python -m repro.tools.perf``."""
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="static complexity and hot-path analyzer "
+                    "for the MLaaS reproduction",
+    )
+    return configure_parser(parser)
+
+
+def _print_rules(out) -> int:
+    for rule in default_perf_rules():
+        print(f"{rule.code}  {rule.name:<22} {rule.description}", file=out)
+    return 0
+
+
+def run_perf_command(args: argparse.Namespace, out=None) -> int:
+    """Execute a parsed perf invocation; returns the exit code."""
+    out = out or sys.stdout
+    if args.list_rules:
+        return _print_rules(out)
+    paths = args.paths or [DEFAULT_TARGET]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    profile = None
+    if args.profile is not None:
+        from repro.tools.perf.report import load_profile
+
+        try:
+            profile = load_profile(args.profile)
+        except (OSError, ValueError) as exc:
+            print(f"error: could not read profile {args.profile}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    from repro.tools.perf.runner import run_perf
+
+    if args.update_spec:
+        from repro.tools.indexing import load_indexed_project
+        from repro.tools.perf.complexity import derive_complexity, write_spec
+
+        loaded = load_indexed_project(paths, root=Path.cwd())
+        if loaded.n_files == 0:
+            print("error: no python files found under the given paths",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        spec = derive_complexity(loaded.loop_model())
+        write_spec(spec, args.spec)
+        print(f"wrote derived complexity of {len(spec)} estimator(s) "
+              f"to {args.spec}", file=out)
+        return 0
+
+    result = run_perf(paths, root=Path.cwd(), spec_path=args.spec)
+    if result.n_files == 0:
+        print("error: no python files found under the given paths",
+              file=sys.stderr)
+        return EXIT_USAGE
+    reporter = REPORTERS[args.format]
+    print(reporter(result, show_suppressed=args.show_suppressed), file=out)
+    if args.top > 0 and args.format == "text":
+        from repro.tools.perf.report import rank_hotspots, render_hotspots
+
+        ranked = rank_hotspots(result.violations, profile=profile)
+        render_hotspots(ranked, args.top, out)
+    return result.exit_code
+
+
+def main(argv=None, out=None) -> int:
+    """Entry point for ``python -m repro.tools.perf``."""
+    args = build_parser().parse_args(argv)
+    return run_guarded(run_perf_command, args, out=out)

@@ -1,0 +1,338 @@
+"""The P-rules: static performance findings over the shared loop model.
+
+Each rule queries the :class:`~repro.tools.perf.loops.LoopModel` built
+once per run and injected by the runner (mirroring how the C-rules
+receive the concurrency index).  All six are project rules, but every
+violation is anchored to the file and line of the offending loop or
+call, so the shared suppression machinery applies unchanged.
+
+The catalogue, in severity order of a typical finding:
+
+* **P302** — quadratic growth: an array/list rebound through
+  ``np.append``/``np.concatenate``/self-concatenation inside a loop.
+* **P304** — repeated pure fits on a search path not routed through the
+  :class:`~repro.learn.cache.FitCache`.
+* **P301** — a Python-level loop over an ndarray axis doing per-element
+  work (vectorization candidate; severity scales with nest depth).
+* **P306** — fresh-buffer allocation inside a per-row hot loop of a
+  compiled-substrate module (one tagged ``_COMPILED_SUBSTRATE``).
+* **P303** — a loop-invariant pure numpy call that should be hoisted.
+* **P305** — complexity-spec conformance: derived ``fit``/``predict``
+  loop-nest depths must match the checked-in ``complexity_spec.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.tools.lint.engine import Project, Rule, Violation
+from repro.tools.perf.complexity import (
+    DEFAULT_SPEC_PATH,
+    SPEC_DIMS,
+    derive_complexity,
+    load_spec,
+)
+from repro.tools.perf.loops import FunctionLoops, LoopModel
+
+__all__ = [
+    "AxisLoopRule",
+    "ComplexitySpecRule",
+    "HotLoopAllocRule",
+    "InvariantCallRule",
+    "PerfRule",
+    "QuadraticGrowthRule",
+    "UncachedRefitRule",
+    "default_perf_rules",
+]
+
+#: Module prefixes where repeated pure fits matter (search/orchestration
+#: paths): the substrate's own internal fits are its business.
+_REFIT_SCOPES = (
+    "repro.learn.model_selection",
+    "repro.learn.pipeline",
+    "repro.platforms",
+    "repro.core",
+    "repro.analysis",
+    "repro.service",
+)
+
+
+class PerfRule(Rule):
+    """Base class for P-rules; the runner injects the loop model."""
+
+    def __init__(self, model: LoopModel | None = None):
+        self.model = model
+
+    def _violation(self, fn: FunctionLoops, line: int, col: int,
+                   message: str) -> Violation:
+        qualname = fn.key[1] or "<module>"
+        return Violation(
+            code=self.code,
+            message=f"{message} [{qualname}]",
+            path=fn.relpath,
+            line=line,
+            col=col,
+        )
+
+    def _functions(self) -> Iterable[FunctionLoops]:
+        analyzed = {
+            m.dotted_name for m in self.model.index.project.modules
+        }
+        for key in sorted(self.model.functions):
+            if key[0] in analyzed:
+                yield self.model.functions[key]
+
+
+class AxisLoopRule(PerfRule):
+    """P301: Python-level loop over an ndarray axis doing per-element work."""
+
+    code = "P301"
+    name = "axis-loop"
+    description = (
+        "A for-loop iterating a samples/features axis with per-element "
+        "array reads/writes is a vectorization candidate; severity "
+        "scales with the statically inferred loop-nest depth."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        """Flag unchunked axis loops whose bodies do per-element work."""
+        for fn in self._functions():
+            for loop in fn.loops:
+                if loop.chunked or loop.dim not in ("samples", "features"):
+                    continue
+                per_element = loop.elem_writes > 0 and loop.array_ops > 0
+                accumulating = (loop.dim == "samples" and loop.direct
+                                and loop.appends > 0)
+                if not (per_element or accumulating):
+                    continue
+                work = (
+                    f"{loop.elem_writes} per-element array write(s)"
+                    if per_element else
+                    f"{loop.appends} per-sample append(s)"
+                )
+                yield self._violation(
+                    fn, loop.lineno, loop.col,
+                    f"depth-{loop.nest_depth} Python loop over the "
+                    f"{loop.dim} axis ({loop.iter_source}) does {work}; "
+                    "vectorize with whole-array numpy operations",
+                )
+
+
+class QuadraticGrowthRule(PerfRule):
+    """P302: growing an array/list by re-concatenation inside a loop."""
+
+    code = "P302"
+    name = "quadratic-growth"
+    description = (
+        "Rebinding a name through np.append/np.concatenate/np.vstack "
+        "(or list self-concatenation) inside a loop copies the "
+        "accumulated prefix every iteration: quadratic total work.  "
+        "Collect into a list and concatenate once, or preallocate."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        """Flag self-referential copy-producing rebinds inside loops."""
+        for fn in self._functions():
+            for loop in fn.loops:
+                for line, col, text in loop.growth_sites:
+                    yield self._violation(
+                        fn, line, col,
+                        f"depth-{loop.nest_depth} loop grows an array by "
+                        f"copying it each iteration ({text}); collect "
+                        "parts and concatenate once after the loop",
+                    )
+
+
+class InvariantCallRule(PerfRule):
+    """P303: a loop-invariant pure numpy call recomputed every iteration."""
+
+    code = "P303"
+    name = "invariant-call"
+    description = (
+        "A pure numpy call whose arguments are untouched by the "
+        "enclosing loop recomputes the same value every iteration; "
+        "hoist it above the loop.  Allocators are exempt (hoisting "
+        "them would share one buffer across iterations)."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        """Flag hoistable pure calls with loop-invariant arguments."""
+        for fn in self._functions():
+            for loop in fn.loops:
+                for line, col, text in loop.invariant_calls:
+                    yield self._violation(
+                        fn, line, col,
+                        f"loop-invariant pure call {text} is recomputed "
+                        "every iteration; hoist it above the "
+                        f"{loop.kind}-loop at line {loop.lineno}",
+                    )
+
+
+class UncachedRefitRule(PerfRule):
+    """P304: repeated pure fits on a search path bypassing the FitCache."""
+
+    code = "P304"
+    name = "uncached-refit"
+    description = (
+        "A loop on a grid-search/orchestration path that constructs an "
+        "estimator (clone or constructor) and fits it each iteration, "
+        "in a function that never touches a FitCache/memory handle, "
+        "repeats pure work the content-keyed cache exists to absorb."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        """Flag per-iteration clone+fit in cache-less search functions."""
+        estimators = self.model.index.project.subclasses_of(
+            ["BaseEstimator"])
+        makers = estimators | {"clone"}
+        for fn in self._functions():
+            if fn.touches_cache or not fn.key[0].startswith(_REFIT_SCOPES):
+                continue
+            for loop in fn.loops:
+                fitted = {recv for _, _, recv in loop.fit_calls}
+                for name, ctor in sorted(loop.made_estimators.items()):
+                    if ctor in makers and name in fitted:
+                        yield self._violation(
+                            fn, loop.lineno, loop.col,
+                            f"loop builds {name} = {ctor}(...) and fits "
+                            "it every iteration without a FitCache; "
+                            "route the fit through the cache or document "
+                            "why its inputs never repeat",
+                        )
+
+
+class ComplexitySpecRule(PerfRule):
+    """P305: derived estimator complexity must match the checked-in spec."""
+
+    code = "P305"
+    name = "complexity-spec"
+    description = (
+        "Each estimator's fit/predict loop-nest depth over "
+        f"{SPEC_DIMS} is derived from the loop model and compared "
+        "against complexity_spec.py; run `repro perf --update-spec` "
+        "to record an intentional change."
+    )
+
+    def __init__(self, model: LoopModel | None = None,
+                 spec_path: Path = DEFAULT_SPEC_PATH):
+        super().__init__(model)
+        self.spec_path = spec_path
+
+    def _spec_relpath(self) -> str:
+        for module in self.model.index.modules.values():
+            try:
+                if module.path.resolve() == self.spec_path.resolve():
+                    return module.relpath
+            except OSError:  # pragma: no cover - resolve on a dead path
+                continue
+        return str(self.spec_path)
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        """Compare a fresh derivation against the checked-in spec."""
+        derived = derive_complexity(self.model)
+        spec = load_spec(self.spec_path)
+        spec_relpath = self._spec_relpath()
+        if spec is None:
+            yield Violation(
+                code=self.code,
+                message=(
+                    "complexity spec is missing or unreadable at "
+                    f"{self.spec_path}; run `repro perf --update-spec`"
+                ),
+                path=spec_relpath,
+                line=1,
+            )
+            return
+        index = self.model.index
+        for class_path in sorted(derived):
+            module_name, _, class_name = class_path.rpartition(".")
+            node = index.classes.get((module_name, class_name))
+            line = node.lineno if node is not None else 1
+            relpath = index.modules[module_name].relpath \
+                if module_name in index.modules else spec_relpath
+            if class_path not in spec:
+                yield Violation(
+                    code=self.code,
+                    message=(
+                        f"estimator {class_path} is not in the complexity "
+                        "spec; run `repro perf --update-spec` to record "
+                        f"its derived cost {derived[class_path]!r}"
+                    ),
+                    path=relpath, line=line,
+                )
+            elif spec[class_path] != derived[class_path]:
+                yield Violation(
+                    code=self.code,
+                    message=(
+                        f"derived complexity of {class_path} "
+                        f"({derived[class_path]!r}) disagrees with the "
+                        f"spec ({spec[class_path]!r}); vectorize back to "
+                        "the recorded depth or run `repro perf "
+                        "--update-spec` to accept the change"
+                    ),
+                    path=relpath, line=line,
+                )
+        analyzed = {m.dotted_name for m in index.project.modules}
+        for class_path in sorted(set(spec) - set(derived)):
+            module_name = class_path.rpartition(".")[0]
+            if module_name in analyzed:
+                yield Violation(
+                    code=self.code,
+                    message=(
+                        f"spec entry {class_path} matches no analyzed "
+                        "estimator (renamed or removed); run `repro perf "
+                        "--update-spec` to drop it"
+                    ),
+                    path=spec_relpath, line=1,
+                )
+
+
+class HotLoopAllocRule(PerfRule):
+    """P306: allocation inside per-row hot loops of compiled substrate."""
+
+    code = "P306"
+    name = "hot-loop-alloc"
+    description = (
+        "Modules tagged `_COMPILED_SUBSTRATE = True` promise "
+        "allocation-free per-row inner loops; a numpy allocator inside "
+        "a samples-dim or while loop there defeats the compiled "
+        "layout's point."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        """Flag allocator calls in hot loops of tagged modules."""
+        tagged = set()
+        for module in project.modules:
+            if module.top_level_assign("_COMPILED_SUBSTRATE") is not None:
+                tagged.add(module.dotted_name)
+        if not tagged:
+            return
+        for fn in self._functions():
+            if fn.key[0] not in tagged:
+                continue
+            for loop in fn.loops:
+                hot = loop.dim == "samples" or loop.kind == "while" or \
+                    "samples" in loop.enclosing_dims
+                if not hot:
+                    continue
+                for line, col, text in loop.alloc_sites:
+                    yield self._violation(
+                        fn, line, col,
+                        f"allocation {text} inside a per-row hot loop of "
+                        "a compiled-substrate module; preallocate "
+                        "outside the loop and reuse the buffer",
+                    )
+
+
+def default_perf_rules(model: LoopModel | None = None,
+                       spec_path: Path | None = None) -> list:
+    """The six P-rules, in code order, sharing one loop model."""
+    return [
+        AxisLoopRule(model),
+        QuadraticGrowthRule(model),
+        InvariantCallRule(model),
+        UncachedRefitRule(model),
+        ComplexitySpecRule(model, spec_path or DEFAULT_SPEC_PATH),
+        HotLoopAllocRule(model),
+    ]

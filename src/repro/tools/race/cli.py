@@ -1,10 +1,12 @@
 """Command-line front end: ``repro race`` / ``python -m repro.tools.race``.
 
-Same exit-code convention as ``repro lint`` and ``repro flow``:
+Same exit-code taxonomy as ``repro lint`` and ``repro flow``
+(:mod:`repro.tools.exitcodes`):
 
 * ``0`` — clean (suppressed findings allowed);
 * ``1`` — at least one unsuppressed violation;
-* ``2`` — usage error (nonexistent path, no files found).
+* ``2`` — usage error (nonexistent path, no files found);
+* ``3`` — the analyzer itself crashed (traceback on stderr).
 """
 
 from __future__ import annotations
@@ -89,5 +91,7 @@ def run_race_command(args: argparse.Namespace, out=None) -> int:
 
 def main(argv=None, out=None) -> int:
     """Entry point for ``python -m repro.tools.race``."""
+    from repro.tools.exitcodes import run_guarded
+
     args = build_parser().parse_args(argv)
-    return run_race_command(args, out=out)
+    return run_guarded(run_race_command, args, out=out)

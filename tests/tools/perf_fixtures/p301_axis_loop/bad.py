@@ -1,0 +1,17 @@
+"""P301 firing fixture: Python-level loops over ndarray axes."""
+
+import numpy as np
+
+
+def per_feature_scores(X, y):
+    scores = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):  # one Python iteration per feature
+        scores[j] = float(np.dot(X[:, j], y))
+    return scores
+
+
+def per_sample_collect(X):
+    rows = []
+    for row in X:  # one Python iteration per sample
+        rows.append(row.sum())
+    return rows

@@ -1,0 +1,19 @@
+"""P301 clean fixture: the same work vectorized (or sanctioned chunking)."""
+
+import numpy as np
+
+
+def per_feature_scores(X, y):
+    return X.T @ y
+
+
+def per_sample_collect(X):
+    return X.sum(axis=1)
+
+
+def chunked_norms(X, chunk: int = 256):
+    out = np.zeros(X.shape[0])
+    for start in range(0, X.shape[0], chunk):  # stepped range: chunking
+        block = X[start:start + chunk]
+        out[start:start + chunk] = np.sqrt((block ** 2).sum(axis=1))
+    return out

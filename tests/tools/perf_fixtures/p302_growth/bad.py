@@ -1,0 +1,17 @@
+"""P302 firing fixture: arrays and lists grown by copy inside loops."""
+
+import numpy as np
+
+
+def collect_array(values):
+    out = np.zeros(0)
+    for value in values:
+        out = np.append(out, value)  # copies the prefix every iteration
+    return out
+
+
+def collect_list(values):
+    acc = []
+    for value in values:
+        acc = acc + [value]  # list self-concatenation: same quadratic shape
+    return acc

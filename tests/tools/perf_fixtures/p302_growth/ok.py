@@ -1,0 +1,17 @@
+"""P302 clean fixture: collect into a list, concatenate once."""
+
+import numpy as np
+
+
+def collect_array(values):
+    parts = []
+    for value in values:
+        parts.append(value)
+    return np.asarray(parts)
+
+
+def running_total(values):
+    total = np.zeros(3)
+    for value in values:
+        total += value  # in-place accumulation is not growth
+    return total

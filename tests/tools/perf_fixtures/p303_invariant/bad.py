@@ -1,0 +1,11 @@
+"""P303 firing fixture: a loop-invariant pure call recomputed per pass."""
+
+import numpy as np
+
+
+def anneal(temps, n_iter: int = 50):
+    best = 0.0
+    for step in range(n_iter):
+        edges = np.sort(temps)  # temps never changes inside the loop
+        best = max(best, float(edges[step % edges.size]) / (step + 1))
+    return best

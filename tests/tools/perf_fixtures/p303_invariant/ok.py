@@ -1,0 +1,18 @@
+"""P303 clean fixture: the invariant call hoisted above the loop."""
+
+import numpy as np
+
+
+def anneal(temps, n_iter: int = 50):
+    edges = np.sort(temps)
+    best = 0.0
+    for step in range(n_iter):
+        best = max(best, float(edges[step % edges.size]) / (step + 1))
+    return best
+
+
+def resample(temps, rng, n_iter: int = 50):
+    draws = []
+    for _ in range(n_iter):
+        draws.append(np.sort(rng.uniform(0.0, 1.0, 4)))  # fresh draw each pass
+    return draws

@@ -1,0 +1,10 @@
+"""P304 firing fixture: per-candidate clone+fit with no cache in sight."""
+
+
+def sweep(estimator, X, y, grid, clone):
+    scores = []
+    for params in grid:
+        model = clone(estimator)
+        model.fit(X, y)  # identical inputs re-fitted every candidate
+        scores.append((model, params))
+    return scores

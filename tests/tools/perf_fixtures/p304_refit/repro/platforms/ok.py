@@ -1,0 +1,9 @@
+"""P304 clean fixture: the repeated pure fit routed through a cache."""
+
+
+def sweep(estimator, X, y, grid, clone, memory):
+    scores = []
+    for params in grid:
+        fitted, transformed = memory.fit_transform(clone(estimator), X, y)
+        scores.append((fitted, transformed, params))
+    return scores

@@ -1,0 +1,28 @@
+"""P305 fixture estimator: known loop-nest depths for fit/predict."""
+
+import numpy as np
+
+
+class BaseEstimator:
+    """Stand-in base so the fixture tree is self-contained."""
+
+
+class SlowKNN(BaseEstimator):
+    """Per-feature/per-sample Python loops with a fixed derived cost."""
+
+    def fit(self, X, y):
+        n_samples, n_features = X.shape
+        self._means = np.zeros(n_features)
+        for j in range(n_features):
+            total = 0.0
+            for i in range(n_samples):
+                total += float(X[i, j])
+            self._means[j] = total / n_samples
+        self._classes = np.unique(y)
+        return self
+
+    def predict(self, X):
+        out = np.zeros(X.shape[0])
+        for i in range(X.shape[0]):
+            out[i] = float((X[i] - self._means).sum() > 0.0)
+        return out

@@ -1,0 +1,13 @@
+"""Spec that disagrees with the fixture estimator and carries a stale entry."""
+
+__all__ = ["COMPLEXITY"]
+
+COMPLEXITY = {
+    "model.SlowKNN": {
+        "fit": {},
+        "predict": {"samples": 1},
+    },
+    "model.Gone": {
+        "fit": {"samples": 2},
+    },
+}

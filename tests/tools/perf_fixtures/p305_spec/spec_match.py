@@ -1,0 +1,10 @@
+"""Spec that matches the fixture estimator's derived complexity."""
+
+__all__ = ["COMPLEXITY"]
+
+COMPLEXITY = {
+    "model.SlowKNN": {
+        "fit": {"samples": 1, "features": 1},
+        "predict": {"samples": 1},
+    },
+}

@@ -1,0 +1,13 @@
+"""P306 firing fixture: allocation inside a compiled module's hot loop."""
+
+import numpy as np
+
+_COMPILED_SUBSTRATE = True
+
+
+def route(X, depth: int = 8):
+    level = 0
+    while level < depth:
+        scratch = np.zeros(4)  # fresh buffer on every routing level
+        level += 1 if scratch.sum() >= 0 else 2
+    return X

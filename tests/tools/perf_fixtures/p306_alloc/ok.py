@@ -1,0 +1,14 @@
+"""P306 clean fixture: the buffer preallocated outside the hot loop."""
+
+import numpy as np
+
+_COMPILED_SUBSTRATE = True
+
+
+def route(X, depth: int = 8):
+    scratch = np.zeros(4)
+    level = 0
+    while level < depth:
+        scratch[:] = 0.0
+        level += 1 if scratch.sum() >= 0 else 2
+    return X

@@ -1,0 +1,84 @@
+"""The shared exit-code taxonomy, enforced across all four analyzers.
+
+Every CLI — ``repro lint``/``flow``/``race``/``perf`` — must agree on
+what its exit code means: 0 clean, 1 findings, 2 usage error, 3 the
+analyzer itself crashed.  CI and the pre-commit hook branch on these, so
+they are part of the tools' contract, not an implementation detail.
+"""
+
+import io
+from pathlib import Path
+
+import pytest
+
+import repro.cli
+import repro.tools.flow.cli as flow_cli
+import repro.tools.lint.cli as lint_cli
+import repro.tools.perf.cli as perf_cli
+import repro.tools.race.cli as race_cli
+from repro.tools.exitcodes import (
+    EXIT_CLEAN,
+    EXIT_CRASH,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    run_guarded,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "perf_fixtures"
+
+CLIS = [
+    pytest.param(lint_cli, "run_lint_command", id="lint"),
+    pytest.param(flow_cli, "run_flow_command", id="flow"),
+    pytest.param(race_cli, "run_race_command", id="race"),
+    pytest.param(perf_cli, "run_perf_command", id="perf"),
+]
+
+
+def test_the_taxonomy_constants():
+    assert (EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, EXIT_CRASH) == (0, 1, 2, 3)
+
+
+@pytest.mark.parametrize("cli,command_name", CLIS)
+def test_nonexistent_path_is_usage_error_everywhere(cli, command_name):
+    code = cli.main(["definitely/not/a/path"], out=io.StringIO())
+    assert code == EXIT_USAGE
+
+
+@pytest.mark.parametrize("cli,command_name", CLIS)
+def test_list_rules_is_clean_everywhere(cli, command_name):
+    code = cli.main(["--list-rules"], out=io.StringIO())
+    assert code == EXIT_CLEAN
+
+
+@pytest.mark.parametrize("cli,command_name", CLIS)
+def test_analyzer_crash_is_exit_3_everywhere(cli, command_name,
+                                             monkeypatch, capsys):
+    def boom(args, out=None):
+        raise RuntimeError("synthetic analyzer crash")
+
+    monkeypatch.setattr(cli, command_name, boom)
+    code = cli.main([str(FIXTURES / "p301_axis_loop")], out=io.StringIO())
+    assert code == EXIT_CRASH
+    err = capsys.readouterr().err
+    assert "internal error" in err
+    assert "synthetic analyzer crash" in err  # traceback reaches the user
+
+
+@pytest.mark.parametrize("subcommand", ["lint", "flow", "race", "perf"])
+def test_repro_cli_propagates_usage_errors(subcommand):
+    code = repro.cli.main(
+        [subcommand, "definitely/not/a/path"], out=io.StringIO())
+    assert code == EXIT_USAGE
+
+
+def test_findings_exit_one_through_the_perf_cli():
+    code = perf_cli.main([str(FIXTURES / "p302_growth")], out=io.StringIO())
+    assert code == EXIT_FINDINGS
+
+
+def test_run_guarded_reraises_control_flow_exits():
+    def bail(args, out=None):
+        raise SystemExit(7)
+
+    with pytest.raises(SystemExit):
+        run_guarded(bail, None)

@@ -74,8 +74,9 @@ def test_different_context_paths_are_distinct_entries(tmp_path):
     assert index_cache_info()["misses"] == 2
 
 
-def test_flow_and_race_share_one_parse_of_the_real_tree():
+def test_flow_race_and_perf_share_one_parse_of_the_real_tree():
     from repro.tools.flow import flow_paths
+    from repro.tools.perf import perf_paths
     from repro.tools.race import race_paths
 
     flow_paths([SOURCE_ROOT])
@@ -84,6 +85,20 @@ def test_flow_and_race_share_one_parse_of_the_real_tree():
     after_race = index_cache_info()
     assert after_race["misses"] == after_flow["misses"]  # no re-parse
     assert after_race["hits"] > after_flow["hits"]
+    perf_paths([SOURCE_ROOT])
+    after_perf = index_cache_info()
+    assert after_perf["misses"] == after_flow["misses"]  # still one parse
+    assert after_perf["hits"] > after_race["hits"]
+
+
+def test_perf_memoizes_its_loop_model_on_the_shared_entry():
+    from repro.tools.perf import perf_paths
+
+    perf_paths([SOURCE_ROOT])
+    loaded = load_indexed_project([SOURCE_ROOT])
+    model = loaded.loop_model()
+    assert model is loaded.loop_model()  # built once per cache entry
+    assert loaded.loop_model().functions  # and actually populated
 
 
 def test_callers_must_copy_parse_violations(tmp_path):
