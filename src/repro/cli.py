@@ -23,9 +23,13 @@ Gives downstream users the common study operations without writing code:
 * ``perf``      — static complexity & hot-path analysis (axis loops,
   quadratic growth, invariant calls, uncached refits, complexity-spec
   conformance, hot-loop allocations); see :mod:`repro.tools.perf`.
+* ``shape``     — static array shape, dtype & aliasing analysis
+  (shape algebra, dtype stability, alias mutation, substrate access,
+  array-contract conformance, boundary validation); see
+  :mod:`repro.tools.shape`.
 
 The study commands accept ``--datasets`` / ``--size-cap`` to bound
-runtime.  The four analyzer subcommands share the exit-code taxonomy of
+runtime.  The five analyzer subcommands share the exit-code taxonomy of
 :mod:`repro.tools.exitcodes`: 0 clean, 1 findings, 2 usage error,
 3 analyzer crash.
 """
@@ -53,6 +57,8 @@ from repro.tools.perf.cli import configure_parser as _configure_perf_parser
 from repro.tools.perf.cli import run_perf_command
 from repro.tools.race.cli import configure_parser as _configure_race_parser
 from repro.tools.race.cli import run_race_command
+from repro.tools.shape.cli import configure_parser as _configure_shape_parser
+from repro.tools.shape.cli import run_shape_command
 
 __all__ = ["main", "build_parser"]
 
@@ -131,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
         "perf", help="static complexity & hot-path analysis"
     )
     _configure_perf_parser(perf)
+
+    shape = sub.add_parser(
+        "shape", help="static array shape, dtype & aliasing analysis"
+    )
+    _configure_shape_parser(shape)
     return parser
 
 
@@ -292,6 +303,8 @@ def main(argv=None, out=None) -> int:
         return run_guarded(run_race_command, args, out=out)
     if args.command == "perf":
         return run_guarded(run_perf_command, args, out=out)
+    if args.command == "shape":
+        return run_guarded(run_shape_command, args, out=out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

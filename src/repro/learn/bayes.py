@@ -54,7 +54,7 @@ class GaussianNB(BaseEstimator, ClassifierMixin):
         if self.priors is None:
             self.class_prior_ = counts / counts.sum()
         else:
-            priors = np.asarray(self.priors, dtype=float)
+            priors = np.asarray(self.priors, dtype=np.float64)
             if priors.shape != (n_classes,) or not np.isclose(priors.sum(), 1.0):
                 raise ValidationError(
                     f"priors must be {n_classes} probabilities summing to 1"
@@ -113,7 +113,7 @@ class BernoulliNB(BaseEstimator, ClassifierMixin):
         if self.alpha < 0:
             raise ValidationError("alpha must be non-negative")
         self.classes_ = check_binary_labels(y)
-        X_bin = (X > self.binarize).astype(float)
+        X_bin = (X > self.binarize).astype(np.float64)
         n_classes = len(self.classes_)
         self.feature_log_prob_ = np.zeros((n_classes, X.shape[1], 2))
         counts = np.zeros(n_classes)
@@ -136,7 +136,7 @@ class BernoulliNB(BaseEstimator, ClassifierMixin):
                 f"model was fitted on {self.n_features_in_} features, "
                 f"got {X.shape[1]}"
             )
-        X_bin = (X > self.binarize).astype(int)
+        X_bin = (X > self.binarize).astype(np.intp)
         jll = np.zeros((X.shape[0], len(self.classes_)))
         for k in range(len(self.classes_)):
             log_p = self.feature_log_prob_[k]

@@ -124,7 +124,7 @@ class BaggingClassifier(BaseEstimator, ClassifierMixin):
                 if hasattr(member, "predict_proba"):
                     votes += member.predict_proba(X)[:, 1]
                 else:
-                    votes += (member.predict(X) == self.classes_[1]).astype(float)
+                    votes += (member.predict(X) == self.classes_[1]).astype(np.float64)
         positive = votes / len(self.estimators_)
         return np.column_stack([1.0 - positive, positive])
 

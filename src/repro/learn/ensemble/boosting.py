@@ -104,7 +104,7 @@ class _RegressionTree:
             cumulative = np.cumsum(sorted_residual)
             left_sum = cumulative[positions - 1]
             right_sum = total_sum - left_sum
-            left_n = positions.astype(float)
+            left_n = positions.astype(np.float64)
             right_n = n_samples - left_n
             # Maximizing sum^2/n on both sides == minimizing squared error.
             scores = left_sum**2 / left_n + right_sum**2 / right_n
@@ -171,7 +171,7 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
         if not 0.0 < self.subsample <= 1.0:
             raise ValidationError("subsample must be in (0, 1]")
         self.classes_ = check_binary_labels(y)
-        y01 = (y == self.classes_[1]).astype(float)
+        y01 = (y == self.classes_[1]).astype(np.float64)
         rng = check_random_state(self.random_state)
         n_samples = X.shape[0]
         prior = np.clip(y01.mean(), 1e-6, 1.0 - 1e-6)
@@ -274,7 +274,7 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
                 random_state=int(rng.integers(0, 2**31)),
             )
             stump.fit(X[rows], signed[rows])
-            predictions = np.asarray(stump.predict(X), dtype=float)
+            predictions = np.asarray(stump.predict(X), dtype=np.float64)
             incorrect = predictions != signed
             error = float(np.sum(weights * incorrect))
             error = np.clip(error, 1e-10, 1.0 - 1e-10)
@@ -301,7 +301,7 @@ class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
             )
         total = np.zeros(X.shape[0])
         for alpha, stump in zip(self.estimator_weights_, self.estimators_):
-            total += alpha * np.asarray(stump.predict(X), dtype=float)
+            total += alpha * np.asarray(stump.predict(X), dtype=np.float64)
         return total
 
     def predict(self, X) -> np.ndarray:

@@ -29,7 +29,7 @@ __all__ = [
 def _encode_binary(y: np.ndarray) -> np.ndarray:
     """Map the two class values onto {0, 1} for correlation computations."""
     classes = np.unique(y)
-    return (y == classes[-1]).astype(float)
+    return (y == classes[-1]).astype(np.float64)
 
 
 def pearson_score(X, y) -> np.ndarray:
@@ -101,7 +101,7 @@ def chi2_score(X, y) -> np.ndarray:
 def mutual_info_score(X, y, n_bins: int = 10) -> np.ndarray:
     """Mutual information per feature after equal-width discretization."""
     X, y = check_X_y(X, y)
-    y01 = _encode_binary(y).astype(int)
+    y01 = _encode_binary(y).astype(np.intp)
     n_samples = X.shape[0]
     class_prob = np.bincount(y01, minlength=2) / n_samples
     scores = np.zeros(X.shape[1])

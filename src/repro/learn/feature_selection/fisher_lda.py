@@ -55,7 +55,7 @@ class FisherLDATransform(BaseEstimator, TransformerMixin):
             order = np.argsort(-scores, kind="stable")
             self.kept_indices_ = np.sort(order[: self.keep_original])
         else:
-            self.kept_indices_ = np.array([], dtype=int)
+            self.kept_indices_ = np.array([], dtype=np.intp)
         self.n_features_in_ = X.shape[1]
         return self
 

@@ -100,7 +100,7 @@ def roc_auc_score(y_true, y_score, pos_label=None) -> float:
     expose prediction scores) but provided for local-library analysis.
     """
     y_true = column_or_1d(y_true)
-    y_score = np.asarray(y_score, dtype=float).ravel()
+    y_score = np.asarray(y_score, dtype=np.float64).ravel()
     if y_true.shape[0] != y_score.shape[0]:
         raise ValidationError("y_true and y_score length mismatch")
     pos = _positive_label(y_true, pos_label)
@@ -111,7 +111,7 @@ def roc_auc_score(y_true, y_score, pos_label=None) -> float:
         raise ValidationError("ROC AUC requires both classes present")
     # Mann-Whitney U with midranks for ties.
     order = np.argsort(y_score, kind="mergesort")
-    ranks = np.empty(len(y_score), dtype=float)
+    ranks = np.empty(len(y_score), dtype=np.float64)
     sorted_scores = y_score[order]
     i = 0
     rank_position = 1

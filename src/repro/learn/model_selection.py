@@ -68,7 +68,7 @@ def train_test_split(
             share = min(max(share, 1 if members.size > 1 else 0), members.size - 1) \
                 if members.size > 1 else 0
             test_indices.extend(members[:share].tolist())
-        test_indices = np.array(sorted(test_indices), dtype=int)
+        test_indices = np.array(sorted(test_indices), dtype=np.intp)
     else:
         order = rng.permutation(n_samples)
         test_indices = np.sort(order[:n_test])
@@ -128,7 +128,7 @@ class StratifiedKFold:
             for k in range(self.n_splits):
                 per_fold[k].append(members[k :: self.n_splits])
         chunks = [
-            np.concatenate(parts) if parts else np.zeros(0, dtype=int)
+            np.concatenate(parts) if parts else np.zeros(0, dtype=np.intp)
             for parts in per_fold
         ]
         for k in range(self.n_splits):

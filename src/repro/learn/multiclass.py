@@ -43,7 +43,7 @@ class OneVsRestClassifier(BaseEstimator, ClassifierMixin):
         self.estimators_ = []
         for c in self.classes_:
             member = clone(self.estimator)
-            member.fit(X, (y == c).astype(int))
+            member.fit(X, (y == c).astype(np.intp))
             self.estimators_.append(member)
         self.n_features_in_ = X.shape[1]
         return self
@@ -56,7 +56,7 @@ class OneVsRestClassifier(BaseEstimator, ClassifierMixin):
             elif hasattr(member, "decision_function"):
                 columns.append(member.decision_function(X))
             else:
-                columns.append(np.asarray(member.predict(X), dtype=float))
+                columns.append(np.asarray(member.predict(X), dtype=np.float64))
         return np.column_stack(columns)
 
     def predict(self, X) -> np.ndarray:

@@ -49,7 +49,7 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
             raise ValidationError(f"p must be positive, got {self.p}")
         self.classes_ = check_binary_labels(y)
         self._fit_X = X
-        self._fit_y01 = (y == self.classes_[1]).astype(float)
+        self._fit_y01 = (y == self.classes_[1]).astype(np.float64)
         self.n_features_in_ = X.shape[1]
         return self
 
@@ -85,7 +85,7 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
                 weights = np.where(exact, 0.0, 1.0 / np.where(exact, 1.0, neighbor_dist))
                 # Queries identical to a training point: exact matches vote alone.
                 has_exact = exact.any(axis=1)
-                weights[has_exact] = exact[has_exact].astype(float)
+                weights[has_exact] = exact[has_exact].astype(np.float64)
                 weight_sums = weights.sum(axis=1)
                 weight_sums[weight_sums == 0.0] = 1.0
                 positive[start : start + block.shape[0]] = (

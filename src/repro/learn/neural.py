@@ -25,7 +25,7 @@ __all__ = ["MLPClassifier"]
 _ACTIVATIONS = {
     "relu": (
         lambda z: np.maximum(z, 0.0),
-        lambda z, a: (z > 0.0).astype(float),
+        lambda z, a: (z > 0.0).astype(np.float64),
     ),
     "tanh": (
         np.tanh,
@@ -102,7 +102,7 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
         if self.alpha < 0:
             raise ValidationError("alpha must be non-negative")
         self.classes_ = check_binary_labels(y)
-        y01 = (y == self.classes_[1]).astype(float)
+        y01 = (y == self.classes_[1]).astype(np.float64)
         rng = check_random_state(self.random_state)
 
         layer_sizes = [X.shape[1], *map(int, self.hidden_layer_sizes), 1]

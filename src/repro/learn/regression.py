@@ -32,8 +32,8 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 def _align(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
-    y_true = np.asarray(y_true, dtype=float).ravel()
-    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
     if y_true.shape != y_pred.shape:
         raise ValidationError(
             f"length mismatch: {y_true.shape} vs {y_pred.shape}"
@@ -95,7 +95,7 @@ class LinearRegression(BaseEstimator, _RegressorMixin):
 
     def fit(self, X, y) -> "LinearRegression":
         X, y = check_X_y(X, y, min_samples=2)
-        y = y.astype(float)
+        y = y.astype(np.float64)
         if self.alpha < 0:
             raise ValidationError("alpha must be non-negative")
         if self.fit_intercept:
@@ -161,7 +161,7 @@ class DecisionTreeRegressor(BaseEstimator, _RegressorMixin):
 
     def fit(self, X, y) -> "DecisionTreeRegressor":
         X, y = check_X_y(X, y, min_samples=2)
-        y = y.astype(float)
+        y = y.astype(np.float64)
         if self.min_samples_leaf < 1:
             raise ValidationError("min_samples_leaf must be >= 1")
         if self.max_depth is not None and self.max_depth < 1:
@@ -227,7 +227,7 @@ class DecisionTreeRegressor(BaseEstimator, _RegressorMixin):
             cumulative = np.cumsum(sorted_y)
             left_sum = cumulative[positions - 1]
             right_sum = total_sum - left_sum
-            left_n = positions.astype(float)
+            left_n = positions.astype(np.float64)
             right_n = n_samples - left_n
             scores = left_sum**2 / left_n + right_sum**2 / right_n
             local = int(np.argmax(scores))
@@ -289,7 +289,7 @@ class KNeighborsRegressor(BaseEstimator, _RegressorMixin):
         if self.weights not in ("uniform", "distance"):
             raise ValidationError(f"unknown weights {self.weights!r}")
         self._fit_X = X
-        self._fit_y = y.astype(float)
+        self._fit_y = y.astype(np.float64)
         self.n_features_in_ = X.shape[1]
         return self
 
@@ -319,7 +319,7 @@ class KNeighborsRegressor(BaseEstimator, _RegressorMixin):
                     exact, 0.0, 1.0 / np.where(exact, 1.0, neighbor_dist)
                 )
                 has_exact = exact.any(axis=1)
-                weights[has_exact] = exact[has_exact].astype(float)
+                weights[has_exact] = exact[has_exact].astype(np.float64)
                 sums = weights.sum(axis=1)
                 sums[sums == 0.0] = 1.0
                 predictions[start : start + block.shape[0]] = (

@@ -184,7 +184,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         if self.max_depth is not None and self.max_depth < 1:
             raise ValidationError(f"max_depth must be >= 1, got {self.max_depth}")
         self.classes_ = check_binary_labels(y)
-        y01 = (y == self.classes_[1]).astype(float)
+        y01 = (y == self.classes_[1]).astype(np.float64)
         if sample_indices is not None:
             X = X[sample_indices]
             y01 = y01[sample_indices]

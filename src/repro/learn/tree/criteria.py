@@ -9,13 +9,13 @@ __all__ = ["gini_impurity", "entropy_impurity", "criterion_function"]
 
 def gini_impurity(positive_fraction: np.ndarray) -> np.ndarray:
     """Binary Gini impurity ``2 p (1 - p)``; works elementwise."""
-    p = np.asarray(positive_fraction, dtype=float)
+    p = np.asarray(positive_fraction, dtype=np.float64)
     return 2.0 * p * (1.0 - p)
 
 
 def entropy_impurity(positive_fraction: np.ndarray) -> np.ndarray:
     """Binary Shannon entropy in nats; 0 log 0 treated as 0."""
-    p = np.asarray(positive_fraction, dtype=float)
+    p = np.asarray(positive_fraction, dtype=np.float64)
     p = np.clip(p, 1e-12, 1.0 - 1e-12)
     return -(p * np.log(p) + (1.0 - p) * np.log(1.0 - p))
 

@@ -60,7 +60,7 @@ class _DecisionDAG:
 
     def fit(self, X: np.ndarray, y01: np.ndarray) -> None:
         n_samples = X.shape[0]
-        assignments = np.zeros(n_samples, dtype=int)  # node index at level
+        assignments = np.zeros(n_samples, dtype=np.intp)  # node index at level
         self.levels = [[_DagLevelNode(
             positive_fraction=float(y01.mean()), n_samples=n_samples
         )]]
@@ -94,7 +94,7 @@ class _DecisionDAG:
                 break
             # 3. Route samples to their tentative child slot.
             slot_of = {pair: slot for slot, pair in enumerate(child_slots)}
-            next_assign = np.full(n_samples, -1, dtype=int)
+            next_assign = np.full(n_samples, -1, dtype=np.intp)
             for node_index, (feature, threshold) in enumerate(tentative):
                 members = np.flatnonzero(assignments == node_index)
                 if feature < 0 or members.size == 0:
@@ -126,7 +126,7 @@ class _DecisionDAG:
                 node.right_child = group_index_of_slot[slot_of[(node_index, 1)]]
             # Samples whose node became a leaf keep no next-level slot.
             routed = next_assign >= 0
-            remapped = np.full(n_samples, -1, dtype=int)
+            remapped = np.full(n_samples, -1, dtype=np.intp)
             remapped[routed] = [
                 group_index_of_slot[s] for s in next_assign[routed]
             ]
@@ -187,7 +187,7 @@ class _DecisionDAG:
 
     def predict_fraction(self, X: np.ndarray) -> np.ndarray:
         fractions = np.empty(X.shape[0])
-        current = np.zeros(X.shape[0], dtype=int)
+        current = np.zeros(X.shape[0], dtype=np.intp)
         active = np.arange(X.shape[0])
         for depth, level in enumerate(self.levels):
             if active.size == 0:
@@ -257,7 +257,7 @@ class DecisionJungleClassifier(BaseEstimator, ClassifierMixin):
             if getattr(self, name) < 1:
                 raise ValidationError(f"{name} must be >= 1")
         self.classes_ = check_binary_labels(y)
-        y01 = (y == self.classes_[1]).astype(float)
+        y01 = (y == self.classes_[1]).astype(np.float64)
         rng = check_random_state(self.random_state)
         self.dags_ = []
         n_samples = X.shape[0]

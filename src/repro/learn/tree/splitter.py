@@ -80,7 +80,7 @@ def scan_sorted_feature(
         if positions.size == 0:
             return None
     cum_pos = np.cumsum(sorted_y)
-    left_count = positions.astype(float)
+    left_count = positions.astype(np.float64)
     right_count = n_samples - left_count
     left_positive = cum_pos[positions - 1]
     right_positive = cum_pos[-1] - left_positive
@@ -305,7 +305,7 @@ class HistogramSplitEngine:
             if not valid.any():
                 continue
             left_positive = np.cumsum(positives)[:-1][valid]
-            left_n = left_count[valid].astype(float)
+            left_n = left_count[valid].astype(np.float64)
             right_n = n_samples - left_n
             right_positive = total_positive - left_positive
             weighted = (

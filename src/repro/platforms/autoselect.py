@@ -24,7 +24,7 @@ from repro.exceptions import ReproError
 from repro.learn.base import BaseEstimator, clone
 from repro.learn.metrics import f_score
 from repro.learn.model_selection import StratifiedKFold
-from repro.learn.validation import check_random_state
+from repro.learn.validation import check_X_y, check_random_state
 
 __all__ = ["AutoClassifierSelector", "SelectionOutcome"]
 
@@ -122,6 +122,7 @@ class AutoClassifierSelector:
 
     def select(self, X: np.ndarray, y: np.ndarray) -> tuple[BaseEstimator, SelectionOutcome]:
         """Return the winning (unfitted) estimator and the decision record."""
+        X, y = check_X_y(X, y)
         rng = check_random_state(self.random_state)
         probe = self._probe_indices(y, rng)
         X_probe, y_probe = X[probe], y[probe]

@@ -36,7 +36,7 @@ from repro.exceptions import (
 )
 from repro.learn.base import BaseEstimator
 from repro.learn.cache import FitCache
-from repro.learn.validation import check_X_y
+from repro.learn.validation import check_array, check_X_y
 
 __all__ = [
     "ParameterSpec",
@@ -460,6 +460,7 @@ class MLaaSPlatform:
             )
         if handle.state is not JobState.COMPLETED or handle.estimator is None:
             raise JobFailedError(f"model {model_id} is not ready")
+        X = check_array(X)
         return np.asarray(handle.estimator.predict(X))
 
     # ------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Shared, cached project loading for the static-analysis tools.
 
-``repro lint``, ``repro flow``, ``repro race``, and ``repro perf`` all
+``repro lint``, ``repro flow``, ``repro race``, ``repro perf``, and
+``repro shape`` all
 start the same way: discover the Python files, parse each one exactly
 once, and (for the cross-module analyzers) build the shared
 :class:`~repro.tools.flow.graph.FlowIndex` of symbols, imports, and
@@ -55,6 +56,7 @@ class IndexedProject:
     parse_violations: list = field(default_factory=list)
     n_files: int = 0
     _loop_model: object = None
+    _shape_model: object = None
 
     @property
     def context_modules(self) -> list:
@@ -74,6 +76,20 @@ class IndexedProject:
 
             self._loop_model = build_loop_model(self.index)
         return self._loop_model
+
+    def shape_model(self):
+        """The shape analyzer's array-fact model, built lazily and memoized.
+
+        Lives on the cached entry so repeated ``repro shape`` runs over
+        an unchanged tree share the model the way all tools share the
+        parse.  The import is deferred: only shape runs pay for it, and
+        the shape package can import this facade without a cycle.
+        """
+        if self._shape_model is None:
+            from repro.tools.shape.arrays import build_shape_model
+
+            self._shape_model = build_shape_model(self.index)
+        return self._shape_model
 
 
 def _stat_entries(paths: Sequence) -> tuple:

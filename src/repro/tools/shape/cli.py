@@ -1,0 +1,122 @@
+"""Command-line front end: ``repro shape`` / ``python -m repro.tools.shape``.
+
+Exit codes follow the shared taxonomy of :mod:`repro.tools.exitcodes`:
+
+* ``0`` — clean (suppressed findings allowed, or ``--update-spec`` ran);
+* ``1`` — at least one unsuppressed violation;
+* ``2`` — usage error (nonexistent path, no files found);
+* ``3`` — the analyzer itself crashed (traceback on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.tools.exitcodes import EXIT_USAGE, run_guarded
+from repro.tools.lint.reporters import REPORTERS
+from repro.tools.shape.contracts import DEFAULT_SPEC_PATH
+from repro.tools.shape.rules import default_shape_rules
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "build_parser",
+    "configure_parser",
+    "main",
+    "run_shape_command",
+]
+
+#: Default analysis target: the package's own source tree.
+DEFAULT_TARGET = Path(__file__).resolve().parents[2]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shape arguments to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include justified suppressions in the report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the shape rule codes and exit",
+    )
+    parser.add_argument(
+        "--spec", type=Path, metavar="PATH", default=DEFAULT_SPEC_PATH,
+        help="array-contract spec to check against (default: the "
+             "checked-in array_contracts_spec.py)",
+    )
+    parser.add_argument(
+        "--update-spec", action="store_true",
+        help="rewrite the array-contract spec from the analyzed tree "
+             "instead of checking against it",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the standalone parser for ``python -m repro.tools.shape``."""
+    parser = argparse.ArgumentParser(
+        prog="repro shape",
+        description="static array shape, dtype & aliasing analyzer "
+                    "for the MLaaS reproduction",
+    )
+    return configure_parser(parser)
+
+
+def _print_rules(out) -> int:
+    for rule in default_shape_rules():
+        print(f"{rule.code}  {rule.name:<22} {rule.description}", file=out)
+    return 0
+
+
+def run_shape_command(args: argparse.Namespace, out=None) -> int:
+    """Execute a parsed shape invocation; returns the exit code."""
+    out = out or sys.stdout
+    if args.list_rules:
+        return _print_rules(out)
+    paths = args.paths or [DEFAULT_TARGET]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    from repro.tools.shape.runner import run_shape
+
+    if args.update_spec:
+        from repro.tools.indexing import load_indexed_project
+        from repro.tools.shape.contracts import derive_contracts, write_spec
+
+        loaded = load_indexed_project(paths, root=Path.cwd())
+        if loaded.n_files == 0:
+            print("error: no python files found under the given paths",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        spec = derive_contracts(loaded.shape_model())
+        write_spec(spec, args.spec)
+        print(f"wrote derived array contracts of {len(spec)} estimator(s) "
+              f"to {args.spec}", file=out)
+        return 0
+
+    result = run_shape(paths, root=Path.cwd(), spec_path=args.spec)
+    if result.n_files == 0:
+        print("error: no python files found under the given paths",
+              file=sys.stderr)
+        return EXIT_USAGE
+    reporter = REPORTERS[args.format]
+    print(reporter(result, show_suppressed=args.show_suppressed), file=out)
+    return result.exit_code
+
+
+def main(argv=None, out=None) -> int:
+    """Entry point for ``python -m repro.tools.shape``."""
+    args = build_parser().parse_args(argv)
+    return run_guarded(run_shape_command, args, out=out)

@@ -1,0 +1,14 @@
+"""S401 firing fixture: provable dimension conflicts."""
+
+import numpy as np
+
+
+def mismatched_projection(X, y):
+    # X is (samples, features), y is (samples,): the inner dimensions
+    # cannot contract.
+    return np.dot(X, y)
+
+
+def mismatched_stack(X):
+    flipped = X.T
+    return np.vstack([X, flipped])  # features joined against samples

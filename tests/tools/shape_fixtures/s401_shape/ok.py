@@ -1,0 +1,16 @@
+"""S401 clean fixture: shape algebra that checks out symbolically."""
+
+import numpy as np
+
+
+def projection(X):
+    weights = np.zeros(X.shape[1])
+    return X @ weights  # (samples, features) @ (features,) contracts
+
+
+def doubled(X):
+    return np.vstack([X, X])
+
+
+def centered(X, y):
+    return X - np.mean(X, axis=0)  # (samples, features) - (features,)

@@ -1,0 +1,14 @@
+"""S402 firing fixture: builtin dtype names and an int32 reduction."""
+
+import numpy as np
+
+
+def widen(flags, idx):
+    scores = flags.astype(float)               # implicit width
+    order = np.zeros(idx.shape[0], dtype=int)  # platform-width ints
+    return scores, order
+
+
+def overflowing(codes):
+    small = codes.astype(np.int32)
+    return np.cumsum(small)  # running total can exceed 32 bits

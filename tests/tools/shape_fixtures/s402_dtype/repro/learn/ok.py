@@ -1,0 +1,14 @@
+"""S402 clean fixture: explicit widths everywhere."""
+
+import numpy as np
+
+
+def widen(flags, idx):
+    scores = flags.astype(np.float64)
+    order = np.zeros(idx.shape[0], dtype=np.intp)
+    return scores, order
+
+
+def totals(codes):
+    wide = codes.astype(np.intp)
+    return np.cumsum(wide)

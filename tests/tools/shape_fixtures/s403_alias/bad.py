@@ -1,0 +1,25 @@
+"""S403 firing fixture: in-place writes into arrays the code doesn't own."""
+
+import numpy as np
+
+
+def clamp_rows(X, limit):
+    X[X > limit] = limit  # mutates the caller's buffer in place
+    return X
+
+
+def center_view(X):
+    first = X[:, 0]
+    first -= first.mean()  # augmented write through a view of X
+    return X
+
+
+def poison_cache(cache, X):
+    features = cache.fit_transform(X)
+    features[0] = 0.0  # cache-stored arrays are shared read-only
+    return features
+
+
+def sort_in_place(y):
+    y.sort()  # reorders the caller's labels
+    return y

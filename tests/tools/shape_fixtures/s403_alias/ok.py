@@ -1,0 +1,20 @@
+"""S403 clean fixture: copy before writing."""
+
+import numpy as np
+
+
+def clamp_rows(X, limit):
+    X = X.copy()
+    X[X > limit] = limit
+    return X
+
+
+def center_column(X):
+    first = X[:, 0].copy()
+    first -= first.mean()
+    return first
+
+
+def sorted_labels(y):
+    ordered = np.sort(y)  # np.sort returns a fresh array
+    return ordered

@@ -1,0 +1,22 @@
+"""S404 firing fixture: cache-hostile reads in compiled hot loops."""
+
+import numpy as np
+
+_COMPILED_SUBSTRATE = True
+
+
+def gather(X):
+    rows = np.flatnonzero(X[:, 0] > 0.0)
+    total = np.zeros(X.shape[1])
+    for i in range(X.shape[0]):
+        block = X[rows]  # same gather copied every row
+        total = total + block[0]
+    return total
+
+
+def stream(X, j):
+    total = 0.0
+    for i in range(X.shape[0]):
+        column = X[:, j]  # strided column read per row
+        total += column[0]
+    return total

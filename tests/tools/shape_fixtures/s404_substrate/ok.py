@@ -1,0 +1,30 @@
+"""S404 clean fixture: hoisted gathers and loop-varying indexes."""
+
+import numpy as np
+
+_COMPILED_SUBSTRATE = True
+
+
+def gather(X):
+    rows = np.flatnonzero(X[:, 0] > 0.0)
+    block = X[rows]  # hoisted: one gather before the loop
+    total = np.zeros(X.shape[1])
+    for i in range(X.shape[0]):
+        total = total + block[0]
+    return total
+
+
+def route(X, depth=4):
+    nodes = np.arange(X.shape[0])
+    level = 0
+    while level < depth:
+        nodes = nodes[nodes > 0]  # the index is rebuilt every level
+        level += 1
+    return nodes
+
+
+def binned(X):
+    total = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):
+        total[j] = X[:, j].sum()  # features-dim loop: columns expected
+    return total

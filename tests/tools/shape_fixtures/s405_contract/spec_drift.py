@@ -1,0 +1,28 @@
+"""Spec with one drifted method entry and one stale estimator."""
+
+__all__ = ["ARRAY_CONTRACTS"]
+
+ARRAY_CONTRACTS = {
+    'model.TinyCentroid': {
+        'fit': {
+            'in': {'X': ('samples', 'features'), 'y': ('samples',)},
+            'validates': (),
+            'out': 'self',
+            'out_dtype': None,
+        },
+        'predict': {
+            'in': {'X': ('samples', 'features')},
+            'validates': (),
+            'out': ('samples',),
+            'out_dtype': 'float32',
+        },
+    },
+    'model.Gone': {
+        'fit': {
+            'in': {'X': ('samples', 'features')},
+            'validates': ('X',),
+            'out': 'self',
+            'out_dtype': None,
+        },
+    },
+}

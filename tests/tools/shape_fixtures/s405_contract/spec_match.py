@@ -1,0 +1,20 @@
+"""Spec that matches the fixture estimator's derived array contract."""
+
+__all__ = ["ARRAY_CONTRACTS"]
+
+ARRAY_CONTRACTS = {
+    'model.TinyCentroid': {
+        'fit': {
+            'in': {'X': ('samples', 'features'), 'y': ('samples',)},
+            'validates': (),
+            'out': 'self',
+            'out_dtype': None,
+        },
+        'predict': {
+            'in': {'X': ('samples', 'features')},
+            'validates': ('X',),
+            'out': ('samples',),
+            'out_dtype': 'float64',
+        },
+    },
+}

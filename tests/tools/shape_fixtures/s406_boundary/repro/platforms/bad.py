@@ -1,0 +1,8 @@
+"""S406 firing fixture: raw client arrays reach the estimator."""
+
+
+class Endpoint:
+    """Platform front end that forwards queries unvalidated."""
+
+    def predict_batch(self, model, X):
+        return model.predict(X)  # X is whatever the client sent

@@ -1,0 +1,22 @@
+"""S406 clean fixture: boundary normalization, direct and delegated."""
+
+import numpy as np
+
+
+def _normalize(X):
+    return np.asarray(X, dtype=np.float64)
+
+
+class Endpoint:
+    """Platform front end normalizing queries at the boundary."""
+
+    def predict_batch(self, model, X):
+        X = np.asarray(X, dtype=np.float64)
+        return model.predict(X)
+
+
+class Gateway:
+    """Boundary method that validates through an in-project helper."""
+
+    def upload(self, X):
+        return _normalize(X)

@@ -1,15 +1,17 @@
-"""Cross-tool suppression round-trip: one comment syntax, four analyzers.
+"""Cross-tool suppression round-trip: one comment syntax, five analyzers.
 
-``repro lint``, ``repro flow``, ``repro race``, and ``repro perf`` share
-the ``# repro: disable=CODE -- reason`` syntax in one source tree, so
-each tool must treat the other tools' codes as *known* (no R000
-unknown-code finding) while still reporting a genuinely unknown code.
+``repro lint``, ``repro flow``, ``repro race``, ``repro perf``, and
+``repro shape`` share the ``# repro: disable=CODE -- reason`` syntax in
+one source tree, so each tool must treat the other tools' codes as
+*known* (no R000 unknown-code finding) while still reporting a genuinely
+unknown code.
 """
 
 from repro.tools.flow import flow_paths
 from repro.tools.lint import lint_paths
 from repro.tools.perf import perf_paths
 from repro.tools.race import race_paths
+from repro.tools.shape import shape_paths
 
 
 def write_tree(tmp_path, body):
@@ -22,7 +24,7 @@ def r000_messages(result):
 
 
 SOURCE_WITH_COMPANION_SUPPRESSIONS = '''\
-"""Module carrying suppressions owned by all four analyzers."""
+"""Module carrying suppressions owned by all five analyzers."""
 
 __all__ = ["work"]
 
@@ -32,35 +34,42 @@ def work(items):
     for item in items:  # repro: disable=F104 -- flow-owned code, documented
         total += item  # repro: disable=C202 -- race-owned code, documented
     # repro: disable=P301 -- perf-owned code, documented
+    # repro: disable=S403 -- shape-owned code, documented
     return total
 '''
 
 
-def test_lint_accepts_flow_race_and_perf_codes(tmp_path):
+def test_lint_accepts_flow_race_perf_and_shape_codes(tmp_path):
     tree = write_tree(tmp_path, SOURCE_WITH_COMPANION_SUPPRESSIONS)
     result = lint_paths([tree], root=tree)
     assert r000_messages(result) == []
 
 
-def test_flow_accepts_lint_race_and_perf_codes(tmp_path):
+def test_flow_accepts_lint_race_perf_and_shape_codes(tmp_path):
     tree = write_tree(tmp_path, SOURCE_WITH_COMPANION_SUPPRESSIONS)
     result = flow_paths([tree], root=tree, context_paths=())
     assert r000_messages(result) == []
 
 
-def test_race_accepts_lint_flow_and_perf_codes(tmp_path):
+def test_race_accepts_lint_flow_perf_and_shape_codes(tmp_path):
     tree = write_tree(tmp_path, SOURCE_WITH_COMPANION_SUPPRESSIONS)
     result = race_paths([tree], root=tree, context_paths=())
     assert r000_messages(result) == []
 
 
-def test_perf_accepts_lint_flow_and_race_codes(tmp_path):
+def test_perf_accepts_lint_flow_race_and_shape_codes(tmp_path):
     tree = write_tree(tmp_path, SOURCE_WITH_COMPANION_SUPPRESSIONS)
     result = perf_paths([tree], root=tree, context_paths=())
     assert r000_messages(result) == []
 
 
-def test_all_four_tools_reject_a_truly_unknown_code(tmp_path):
+def test_shape_accepts_lint_flow_race_and_perf_codes(tmp_path):
+    tree = write_tree(tmp_path, SOURCE_WITH_COMPANION_SUPPRESSIONS)
+    result = shape_paths([tree], root=tree, context_paths=())
+    assert r000_messages(result) == []
+
+
+def test_all_five_tools_reject_a_truly_unknown_code(tmp_path):
     tree = write_tree(tmp_path, (
         '"""Module with a bogus suppression code."""\n\n'
         '__all__ = []\n\n'
@@ -71,6 +80,7 @@ def test_all_four_tools_reject_a_truly_unknown_code(tmp_path):
         (flow_paths, {"context_paths": ()}),
         (race_paths, {"context_paths": ()}),
         (perf_paths, {"context_paths": ()}),
+        (shape_paths, {"context_paths": ()}),
     ):
         result = runner([tree], root=tree, **kwargs)
         messages = r000_messages(result)

@@ -1,9 +1,10 @@
-"""The shared exit-code taxonomy, enforced across all four analyzers.
+"""The shared exit-code taxonomy, enforced across all five analyzers.
 
-Every CLI — ``repro lint``/``flow``/``race``/``perf`` — must agree on
-what its exit code means: 0 clean, 1 findings, 2 usage error, 3 the
-analyzer itself crashed.  CI and the pre-commit hook branch on these, so
-they are part of the tools' contract, not an implementation detail.
+Every CLI — ``repro lint``/``flow``/``race``/``perf``/``shape`` — must
+agree on what its exit code means: 0 clean, 1 findings, 2 usage error,
+3 the analyzer itself crashed.  CI and the pre-commit hook branch on
+these, so they are part of the tools' contract, not an implementation
+detail.
 """
 
 import io
@@ -16,6 +17,7 @@ import repro.tools.flow.cli as flow_cli
 import repro.tools.lint.cli as lint_cli
 import repro.tools.perf.cli as perf_cli
 import repro.tools.race.cli as race_cli
+import repro.tools.shape.cli as shape_cli
 from repro.tools.exitcodes import (
     EXIT_CLEAN,
     EXIT_CRASH,
@@ -31,6 +33,7 @@ CLIS = [
     pytest.param(flow_cli, "run_flow_command", id="flow"),
     pytest.param(race_cli, "run_race_command", id="race"),
     pytest.param(perf_cli, "run_perf_command", id="perf"),
+    pytest.param(shape_cli, "run_shape_command", id="shape"),
 ]
 
 
@@ -64,7 +67,8 @@ def test_analyzer_crash_is_exit_3_everywhere(cli, command_name,
     assert "synthetic analyzer crash" in err  # traceback reaches the user
 
 
-@pytest.mark.parametrize("subcommand", ["lint", "flow", "race", "perf"])
+@pytest.mark.parametrize("subcommand", ["lint", "flow", "race", "perf",
+                                        "shape"])
 def test_repro_cli_propagates_usage_errors(subcommand):
     code = repro.cli.main(
         [subcommand, "definitely/not/a/path"], out=io.StringIO())
@@ -73,6 +77,13 @@ def test_repro_cli_propagates_usage_errors(subcommand):
 
 def test_findings_exit_one_through_the_perf_cli():
     code = perf_cli.main([str(FIXTURES / "p302_growth")], out=io.StringIO())
+    assert code == EXIT_FINDINGS
+
+
+def test_findings_exit_one_through_the_shape_cli():
+    fixtures = FIXTURES.parent / "shape_fixtures"
+    code = shape_cli.main(
+        [str(fixtures / "s401_shape")], out=io.StringIO())
     assert code == EXIT_FINDINGS
 
 

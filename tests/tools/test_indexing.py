@@ -74,10 +74,11 @@ def test_different_context_paths_are_distinct_entries(tmp_path):
     assert index_cache_info()["misses"] == 2
 
 
-def test_flow_race_and_perf_share_one_parse_of_the_real_tree():
+def test_flow_race_perf_and_shape_share_one_parse_of_the_real_tree():
     from repro.tools.flow import flow_paths
     from repro.tools.perf import perf_paths
     from repro.tools.race import race_paths
+    from repro.tools.shape import shape_paths
 
     flow_paths([SOURCE_ROOT])
     after_flow = index_cache_info()
@@ -89,6 +90,10 @@ def test_flow_race_and_perf_share_one_parse_of_the_real_tree():
     after_perf = index_cache_info()
     assert after_perf["misses"] == after_flow["misses"]  # still one parse
     assert after_perf["hits"] > after_race["hits"]
+    shape_paths([SOURCE_ROOT])
+    after_shape = index_cache_info()
+    assert after_shape["misses"] == after_flow["misses"]  # still one parse
+    assert after_shape["hits"] > after_perf["hits"]
 
 
 def test_perf_memoizes_its_loop_model_on_the_shared_entry():
@@ -99,6 +104,18 @@ def test_perf_memoizes_its_loop_model_on_the_shared_entry():
     model = loaded.loop_model()
     assert model is loaded.loop_model()  # built once per cache entry
     assert loaded.loop_model().functions  # and actually populated
+
+
+def test_shape_memoizes_its_shape_model_on_the_shared_entry():
+    from repro.tools.shape import shape_paths
+
+    shape_paths([SOURCE_ROOT])
+    loaded = load_indexed_project([SOURCE_ROOT])
+    model = loaded.shape_model()
+    assert model is loaded.shape_model()  # built once per cache entry
+    assert loaded.shape_model().functions  # and actually populated
+    # Loop and shape models coexist on one entry without eviction.
+    assert loaded.loop_model() is loaded.loop_model()
 
 
 def test_callers_must_copy_parse_violations(tmp_path):
