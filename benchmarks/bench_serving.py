@@ -1,0 +1,160 @@
+"""Serving-layer latency percentiles and throughput under concurrency.
+
+Boots the stdlib HTTP front-end on a loopback socket, drives it with the
+deterministic load generator at several closed-loop concurrency levels,
+and reports exact p50/p95/p99 request latencies plus throughput per
+level.  Before any timing counts, every level's ``payload_digest`` must
+equal the serial reference run of the same seeded schedule — the bench
+is also the proof that concurrency adds throughput without adding
+nondeterminism.
+
+Results are written to ``BENCH_serving.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+        [--output BENCH_serving.json]
+
+or via pytest (quick mode) as part of the bench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import print_banner
+except ImportError:  # direct script execution without the package parent
+    def print_banner(title: str) -> None:
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+
+from repro.platforms import BigML
+from repro.serving import (
+    HTTPPlatformClient,
+    LoadgenConfig,
+    ServingGateway,
+    run_load,
+    serve_background,
+)
+
+QUICK_LEVELS = (1, 4)
+FULL_LEVELS = (1, 2, 4, 8)
+SEED = 11
+
+
+def _config(clients: int, quick: bool) -> LoadgenConfig:
+    return LoadgenConfig(
+        clients=clients,
+        predicts_per_client=2 if quick else 4,
+        mode="closed",
+        seed=SEED,
+        samples=40 if quick else 80,
+        features=5,
+        query_rows=8 if quick else 16,
+    )
+
+
+def run_bench(quick: bool = True) -> dict:
+    """Run every concurrency level against one loopback server."""
+    levels = QUICK_LEVELS if quick else FULL_LEVELS
+    gateway = ServingGateway([BigML(random_state=0)])
+    server, thread = serve_background(gateway)
+    try:
+        def factory(client_id: str) -> HTTPPlatformClient:
+            return HTTPPlatformClient(server.url, "bigml",
+                                      client_id=client_id)
+
+        results: dict = {
+            "mode": "quick" if quick else "full",
+            "seed": SEED,
+            "platform": "bigml",
+            "levels": {},
+        }
+        for clients in levels:
+            config = _config(clients, quick)
+            serial = run_load(factory, config, parallel=False)
+            concurrent = run_load(factory, config, parallel=True)
+            results["levels"][str(clients)] = {
+                "requests_total": concurrent["requests_total"],
+                "requests_failed": concurrent["requests_failed"],
+                "throughput_rps": concurrent["throughput_rps"],
+                "overall_latency": concurrent["overall_latency"],
+                "operations": concurrent["operations"],
+                "payload_digest": concurrent["payload_digest"],
+                "serial_payload_digest": serial["payload_digest"],
+                "serial_equivalent": (
+                    concurrent["payload_digest"] == serial["payload_digest"]
+                ),
+            }
+    finally:
+        server.shutdown()
+        thread.join()
+        server.server_close()
+    return results
+
+
+def print_report(results: dict) -> None:
+    """Human-readable view of one bench run."""
+    print_banner("Serving layer — latency percentiles under concurrency")
+    print(f"platform: {results['platform']}  seed: {results['seed']}  "
+          f"mode: {results['mode']}")
+    header = (f"{'clients':>8} {'reqs':>6} {'fail':>5} {'rps':>9} "
+              f"{'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'serial==':>9}")
+    print(header)
+    for clients, level in sorted(results["levels"].items(),
+                                 key=lambda item: int(item[0])):
+        latency = level["overall_latency"]
+        print(f"{clients:>8} {level['requests_total']:>6} "
+              f"{level['requests_failed']:>5} "
+              f"{level['throughput_rps']:>9.1f} "
+              f"{latency['p50'] * 1000:>9.2f} "
+              f"{latency['p95'] * 1000:>9.2f} "
+              f"{latency['p99'] * 1000:>9.2f} "
+              f"{str(level['serial_equivalent']):>9}")
+
+
+def check_results(results: dict) -> None:
+    """The bench's correctness gates (shared by pytest and __main__)."""
+    assert len(results["levels"]) >= 2
+    for clients, level in results["levels"].items():
+        assert level["requests_failed"] == 0, \
+            f"{clients} clients: {level['requests_failed']} failed requests"
+        assert level["serial_equivalent"], \
+            f"{clients} clients: digest diverged from the serial run"
+        latency = level["overall_latency"]
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert level["throughput_rps"] > 0
+
+
+def test_serving_bench_quick():
+    """Pytest entry: quick levels, all gates."""
+    results = run_bench(quick=True)
+    print_report(results)
+    check_results(results)
+
+
+def main(argv=None) -> int:
+    """Script entry: run, print, check, write the JSON artifact."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer levels, smaller sessions")
+    parser.add_argument("--output", default="BENCH_serving.json",
+                        help="where to write the JSON results")
+    args = parser.parse_args(argv)
+    results = run_bench(quick=args.quick)
+    print_report(results)
+    check_results(results)
+    path = Path(args.output)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"\nresults written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

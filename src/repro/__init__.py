@@ -25,8 +25,10 @@ Subpackages
 
 from repro.exceptions import (
     ConvergenceWarning,
+    DeadlineExceededError,
     JobFailedError,
     NotFittedError,
+    PayloadTooLargeError,
     PlatformError,
     QuotaExceededError,
     ReproError,
@@ -37,8 +39,10 @@ from repro.exceptions import (
 
 __all__ = [
     "ConvergenceWarning",
+    "DeadlineExceededError",
     "JobFailedError",
     "NotFittedError",
+    "PayloadTooLargeError",
     "PlatformError",
     "QuotaExceededError",
     "ReproError",

@@ -10,6 +10,12 @@ Gives downstream users the common study operations without writing code:
 * ``campaign``  — run a protocol through the concurrent campaign
   scheduler (:mod:`repro.service`): worker pool, retries, telemetry,
   checkpoint/resume, optional serial-equality verification.
+* ``serve``     — expose the platform simulators over HTTP
+  (:mod:`repro.serving`): JSON endpoints for upload/train/predict,
+  structured access logs, ``/metrics/summary`` percentiles.
+* ``loadgen``   — drive a server (or an in-process loopback) with a
+  seeded closed/open-loop request schedule and print the exact
+  latency-percentile report.
 * ``lint``      — check the source tree against the reproduction
   invariants (determinism, estimator contract, Table 1 conformance,
   exception hygiene, export sync); see :mod:`repro.tools.lint`.
@@ -37,7 +43,9 @@ runtime.  The five analyzer subcommands share the exit-code taxonomy of
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis import (
     boundary_linearity,
@@ -47,8 +55,24 @@ from repro.analysis import (
 )
 from repro.core import MLaaSStudy, StudyScale
 from repro.datasets import CORPUS, load_dataset
+from repro.exceptions import ValidationError
 from repro.platforms import ALL_PLATFORMS, make_platform
-from repro.tools.exitcodes import run_guarded
+from repro.serving import (
+    AccessLog,
+    HTTPPlatformClient,
+    LoadgenConfig,
+    PlatformHTTPServer,
+    ServingGateway,
+    ServingLimits,
+    run_load,
+    serve_background,
+)
+from repro.tools.exitcodes import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    run_guarded,
+)
 from repro.tools.flow.cli import configure_parser as _configure_flow_parser
 from repro.tools.flow.cli import run_flow_command
 from repro.tools.lint.cli import configure_parser as _configure_lint_parser
@@ -117,6 +141,55 @@ def build_parser() -> argparse.ArgumentParser:
                           help="a 2-feature corpus dataset name")
     boundary.add_argument("--resolution", type=int, default=60)
     boundary.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve the platform simulators over HTTP"
+    )
+    serve.add_argument("--platform", action="append", dest="platforms",
+                       choices=[c.name for c in ALL_PLATFORMS],
+                       help="platform to mount (repeatable; default all)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick a free one)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="random_state for the served platforms")
+    serve.add_argument("--access-log", default=None,
+                       help="append structured JSONL access records here")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="shut down after this many requests")
+    serve.add_argument("--max-body-bytes", type=int, default=8_000_000)
+    serve.add_argument("--max-batch-rows", type=int, default=10_000)
+    serve.add_argument("--soft-timeout", type=float, default=30.0,
+                       help="per-request soft deadline in seconds "
+                            "(0 disables it)")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="run a seeded load schedule against a server"
+    )
+    target = loadgen.add_mutually_exclusive_group(required=True)
+    target.add_argument("--url", default=None,
+                        help="base URL of a running repro serve instance")
+    target.add_argument("--loopback", action="store_true",
+                        help="boot an in-process loopback server and "
+                             "drive it over real HTTP")
+    loadgen.add_argument("--platform", default="bigml",
+                         choices=[c.name for c in ALL_PLATFORMS])
+    loadgen.add_argument("--clients", type=int, default=4)
+    loadgen.add_argument("--predicts", type=int, default=3,
+                         help="batch predictions per client session")
+    loadgen.add_argument("--mode", choices=["closed", "open"],
+                         default="closed")
+    loadgen.add_argument("--spacing", type=float, default=0.01,
+                         help="mean interarrival seconds (open mode)")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--samples", type=int, default=40)
+    loadgen.add_argument("--features", type=int, default=5)
+    loadgen.add_argument("--query-rows", type=int, default=8)
+    loadgen.add_argument("--output", default=None,
+                         help="write the JSON report here")
+    loadgen.add_argument("--compare-serial", action="store_true",
+                         help="re-run the schedule serially and verify "
+                              "the payload digests match")
 
     lint = sub.add_parser(
         "lint", help="check the source against the reproduction invariants"
@@ -260,6 +333,102 @@ def _cmd_campaign(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    """Boot the HTTP front-end; blocks until shutdown or budget."""
+    names = list(dict.fromkeys(
+        args.platforms or [cls.name for cls in ALL_PLATFORMS]
+    ))
+    try:
+        limits = ServingLimits(
+            max_body_bytes=args.max_body_bytes,
+            max_batch_rows=args.max_batch_rows,
+            soft_timeout_seconds=(args.soft_timeout
+                                  if args.soft_timeout > 0 else None),
+        )
+    except ValidationError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    platforms = [make_platform(name, random_state=args.seed)
+                 for name in names]
+    gateway = ServingGateway(
+        platforms, limits=limits, access_log=AccessLog(args.access_log),
+    )
+    server = PlatformHTTPServer(
+        gateway, host=args.host, port=args.port,
+        max_requests=args.max_requests,
+    )
+    print(f"serving {', '.join(names)} at {server.url}", file=out,
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        gateway.access_log.flush()
+    print("server stopped", file=out)
+    return EXIT_CLEAN
+
+
+def _cmd_loadgen(args, out) -> int:
+    """Run a seeded load schedule; exit 1 on failures or digest drift."""
+    server = thread = None
+    try:
+        config = LoadgenConfig(
+            clients=args.clients,
+            predicts_per_client=args.predicts,
+            mode=args.mode,
+            arrival_spacing_seconds=args.spacing,
+            seed=args.seed,
+            samples=args.samples,
+            features=args.features,
+            query_rows=args.query_rows,
+        )
+        if args.loopback:
+            gateway = ServingGateway(
+                [make_platform(args.platform, random_state=args.seed)]
+            )
+            server, thread = serve_background(gateway)
+            base_url = server.url
+        else:
+            base_url = args.url
+
+        def factory(client_id: str) -> HTTPPlatformClient:
+            return HTTPPlatformClient(
+                base_url, args.platform, client_id=client_id
+            )
+
+        report = run_load(factory, config)
+        if args.compare_serial:
+            serial = run_load(factory, config, parallel=False)
+            report["serial_payload_digest"] = serial["payload_digest"]
+            report["serial_equivalent"] = (
+                serial["payload_digest"] == report["payload_digest"]
+            )
+    except ValidationError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    finally:
+        if server is not None:
+            server.shutdown()
+            thread.join()
+            server.server_close()
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered, file=out)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"report written to {args.output}", file=out)
+    if report["requests_failed"]:
+        print(f"error: {report['requests_failed']} requests failed "
+              f"({report['failures']})", file=sys.stderr)
+        return EXIT_FINDINGS
+    if args.compare_serial and not report["serial_equivalent"]:
+        print("error: concurrent payload digest diverges from the serial "
+              "run of the same schedule", file=sys.stderr)
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
 def _cmd_boundary(args, out) -> int:
     dataset = load_dataset(args.dataset, size_cap=500)
     if dataset.X.shape[1] != 2:
@@ -295,6 +464,10 @@ def main(argv=None, out=None) -> int:
         return _cmd_campaign(args, out=out)
     if args.command == "boundary":
         return _cmd_boundary(args, out=out)
+    if args.command == "serve":
+        return run_guarded(_cmd_serve, args, out=out)
+    if args.command == "loadgen":
+        return run_guarded(_cmd_loadgen, args, out=out)
     if args.command == "lint":
         return run_guarded(run_lint_command, args, out=out)
     if args.command == "flow":

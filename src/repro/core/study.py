@@ -120,9 +120,13 @@ class MLaaSStudy:
         if clock is not None:
             platform_kwargs["clock"] = clock
         platform_sources = platforms if platforms is not None else ALL_PLATFORMS
+        # Classes are instantiated with the study's seed/clock; anything
+        # already constructed — an in-process platform or a wire client
+        # such as repro.serving.HTTPPlatformClient — passes through, so
+        # a campaign runs unchanged against a remote server.
         self.platforms: list[MLaaSPlatform] = [
-            source if isinstance(source, MLaaSPlatform)
-            else source(**platform_kwargs)
+            source(**platform_kwargs) if isinstance(source, type)
+            else source
             for source in platform_sources
         ]
         self.runner = ExperimentRunner(split_seed=random_state + 7)

@@ -17,6 +17,8 @@ __all__ = [
     "ResourceNotFoundError",
     "JobFailedError",
     "QuotaExceededError",
+    "PayloadTooLargeError",
+    "DeadlineExceededError",
 ]
 
 
@@ -58,3 +60,21 @@ class JobFailedError(PlatformError):
 
 class QuotaExceededError(PlatformError):
     """The simulated platform's rate/size quota was exceeded."""
+
+
+class PayloadTooLargeError(PlatformError):
+    """A request body or prediction batch exceeded the service limits.
+
+    Raised at the serving edge (:mod:`repro.serving`) and mapped onto
+    HTTP 413, mirroring the per-request size caps real MLaaS APIs
+    enforce separately from their rolling rate quotas.
+    """
+
+
+class DeadlineExceededError(PlatformError):
+    """A served request ran past its per-request soft timeout.
+
+    Raised by the serving layer's timeout middleware and mapped onto
+    HTTP 504 — the observable shape of a gateway giving up on a slow
+    backend, which the paper's measurement scripts had to handle (§3.2).
+    """

@@ -29,7 +29,13 @@ from repro.service.scheduler import (
     CampaignScheduler,
     build_campaign,
 )
-from repro.service.telemetry import Counter, Histogram, Telemetry
+from repro.service.telemetry import (
+    Counter,
+    Histogram,
+    Telemetry,
+    exact_quantile,
+    percentile_summary,
+)
 
 __all__ = [
     "CampaignJob",
@@ -42,5 +48,7 @@ __all__ = [
     "VirtualClock",
     "WallClock",
     "build_campaign",
+    "exact_quantile",
     "is_transient",
+    "percentile_summary",
 ]

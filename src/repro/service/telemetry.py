@@ -25,7 +25,10 @@ __all__ = [
     "Counter",
     "Histogram",
     "LATENCY_BUCKETS_SECONDS",
+    "SUMMARY_PERCENTILES",
     "Telemetry",
+    "exact_quantile",
+    "percentile_summary",
 ]
 
 #: Default latency buckets (seconds): sub-millisecond to minutes.
@@ -35,6 +38,61 @@ LATENCY_BUCKETS_SECONDS = (
 
 #: Default buckets for the attempts-per-call distribution.
 ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0)
+
+#: The percentiles every summary reports (the serving benchmark's
+#: p50/p95/p99 and the tails the paper's latency discussion cares about).
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def exact_quantile(sorted_samples, q: float) -> float:
+    """Exact linear-interpolation quantile of pre-sorted samples.
+
+    ``q`` is in [0, 1].  This is the deterministic "linear" method
+    (rank ``q * (n - 1)`` interpolated between neighbours) computed in
+    plain Python so every consumer — ``/metrics/summary``, the load
+    generator and the benchmarks — derives bit-identical values from the
+    same recorded samples.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not sorted_samples:
+        raise ValueError("cannot take a quantile of zero samples")
+    n = len(sorted_samples)
+    if n == 1:
+        return float(sorted_samples[0])
+    rank = q * (n - 1)
+    low = int(rank)
+    frac = rank - low
+    if low + 1 >= n:
+        return float(sorted_samples[-1])
+    return float(
+        sorted_samples[low] + frac * (sorted_samples[low + 1] - sorted_samples[low])
+    )
+
+
+def percentile_summary(samples, percentiles=SUMMARY_PERCENTILES) -> dict:
+    """Deterministic JSON summary of a sample list.
+
+    Returns ``count``/``mean``/``min``/``max`` plus one ``p<N>`` key per
+    requested percentile, every float rounded to 9 decimals so the JSON
+    rendering is stable across runs and platforms.  An empty sample list
+    yields ``{"count": 0}`` — callers can always embed the result.
+    """
+    values = sorted(float(v) for v in samples)
+    if not values:
+        return {"count": 0}
+    summary = {
+        "count": len(values),
+        "mean": round(sum(values) / len(values), 9),
+        "min": round(values[0], 9),
+        "max": round(values[-1], 9),
+    }
+    for percentile in percentiles:
+        label = f"{float(percentile):g}"
+        summary[f"p{label}"] = round(
+            exact_quantile(values, float(percentile) / 100.0), 9
+        )
+    return summary
 
 
 class Counter:
@@ -111,6 +169,7 @@ class Telemetry:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
         self._platforms: dict[str, dict] = {}
+        self._samples: dict[str, list[float]] = {}
 
     # -- recording -------------------------------------------------------
 
@@ -162,6 +221,32 @@ class Telemetry:
         self.observe(f"latency_seconds.{operation}", seconds)
         self.observe("attempts_per_call", float(attempts),
                      buckets=ATTEMPT_BUCKETS)
+
+    def record_sample(self, name: str, value: float) -> None:
+        """Keep one raw observation for exact-quantile summaries.
+
+        Unlike :meth:`observe`, the value itself is retained (not just a
+        bucket count), so :meth:`sample_summaries` can report exact
+        percentiles — what the serving layer's ``/metrics/summary`` and
+        the load-generator report are built on.
+        """
+        with self._lock:
+            self._samples.setdefault(name, []).append(float(value))
+
+    def sample_values(self, name: str) -> list:
+        """Copy of the raw samples recorded under ``name`` (maybe empty)."""
+        with self._lock:
+            return list(self._samples.get(name, ()))
+
+    def sample_summaries(self) -> dict:
+        """Exact percentile summaries of every recorded sample series."""
+        with self._lock:
+            series = {name: list(values)
+                      for name, values in self._samples.items()}
+        return {
+            name: percentile_summary(values)
+            for name, values in sorted(series.items())
+        }
 
     def record_error(self, platform: str, kind: str) -> None:
         """Count one exception (by class name) observed for a platform."""

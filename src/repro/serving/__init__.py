@@ -1,0 +1,61 @@
+"""HTTP serving layer for the platform simulators.
+
+The paper measured real MLaaS platforms over the wire; this package
+puts the same wire between our simulators and the measurement harness
+without leaving the standard library:
+
+* :mod:`repro.serving.protocol` — JSON array/handle encodings, the
+  error-to-status taxonomy, and :class:`ServingLimits`;
+* :mod:`repro.serving.middleware` — request ids, structured access
+  logs, error mapping, soft timeouts, body limits;
+* :mod:`repro.serving.server` — :class:`ServingGateway` (transport-free
+  routing core) plus the threaded stdlib HTTP front-end;
+* :mod:`repro.serving.client` — :class:`HTTPPlatformClient`, a drop-in
+  for in-process platforms so campaigns run unchanged over HTTP;
+* :mod:`repro.serving.loadgen` — seeded closed/open-loop load
+  generation with exact-percentile latency reports.
+
+Campaign results over this wire are bit-identical to in-process runs;
+``tests/serving`` asserts it end-to-end against a live loopback server.
+"""
+
+from repro.serving.client import HTTPPlatformClient
+from repro.serving.loadgen import (
+    ClientPlan,
+    LoadgenConfig,
+    build_schedule,
+    run_load,
+)
+from repro.serving.middleware import AccessLog, RequestIdAllocator
+from repro.serving.protocol import (
+    ERROR_STATUS,
+    Request,
+    Response,
+    ServingLimits,
+    decode_array,
+    encode_array,
+)
+from repro.serving.server import (
+    PlatformHTTPServer,
+    ServingGateway,
+    serve_background,
+)
+
+__all__ = [
+    "ERROR_STATUS",
+    "AccessLog",
+    "ClientPlan",
+    "HTTPPlatformClient",
+    "LoadgenConfig",
+    "PlatformHTTPServer",
+    "Request",
+    "RequestIdAllocator",
+    "Response",
+    "ServingGateway",
+    "ServingLimits",
+    "build_schedule",
+    "decode_array",
+    "encode_array",
+    "run_load",
+    "serve_background",
+]

@@ -1,0 +1,320 @@
+"""Deterministic load generator for the served platforms.
+
+Turns "handles concurrent traffic" from a claim into a measurement: a
+seeded, fully precomputed request schedule is driven against a server
+(usually over HTTP via :class:`~repro.serving.client.HTTPPlatformClient`,
+but any object with the platform surface works), per-request latencies
+are recorded, and the report summarizes them with the exact-percentile
+helper shared with ``/metrics/summary``
+(:func:`repro.service.telemetry.percentile_summary`).
+
+Determinism contract
+--------------------
+Every client session derives its own seed from ``(seed, client_id)``
+via crc32 — the same derivation pattern as platform job seeds — so the
+training data, classifier choice, queries and (open-loop) arrival
+times are identical on every run and machine.  Because platform job
+seeds depend only on (platform seed, data bytes, configuration), the
+*prediction payloads* are invariant under interleaving: the report's
+``payload_digest`` — an order-independent digest over every prediction
+response — must be identical between a serial and a concurrent run of
+the same schedule.  The benchmark and CI assert exactly that.
+
+Two arrival disciplines:
+
+* **closed** — every client starts immediately and issues its session
+  back-to-back: concurrency equals the client count (MLBench-style
+  saturation measurement).
+* **open** — session start times are drawn from a seeded exponential
+  interarrival process, so request arrival does not wait on request
+  completion (the paper's quota discussions are about exactly this
+  offered-load shape).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReproError, ValidationError
+from repro.platforms.base import JobState
+from repro.service.clock import WallClock
+from repro.service.telemetry import percentile_summary
+
+__all__ = [
+    "ClientPlan",
+    "LoadgenConfig",
+    "build_schedule",
+    "derive_seed",
+    "run_load",
+]
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Deterministic sub-seed from a root seed and a label (crc32)."""
+    return zlib.crc32(f"{seed}:loadgen:{label}".encode()) % (2**31)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One reproducible load-generation schedule.
+
+    Attributes
+    ----------
+    clients : int
+        Concurrent client sessions.
+    predicts_per_client : int
+        Batch predictions each session issues after training.
+    mode : str
+        ``"closed"`` (all sessions start at once) or ``"open"``
+        (seeded exponential arrivals).
+    arrival_spacing_seconds : float
+        Mean interarrival gap between session starts in open mode.
+    seed : int
+        Root seed for data, configuration choice and arrivals.
+    samples, features : int
+        Shape of each session's generated training set.
+    query_rows : int
+        Rows per prediction batch.
+    """
+
+    clients: int = 2
+    predicts_per_client: int = 3
+    mode: str = "closed"
+    arrival_spacing_seconds: float = 0.01
+    seed: int = 0
+    samples: int = 40
+    features: int = 5
+    query_rows: int = 8
+
+    def __post_init__(self):
+        if self.clients < 1 or self.predicts_per_client < 0:
+            raise ValidationError(
+                f"need clients >= 1 and predicts_per_client >= 0, got "
+                f"{self.clients} and {self.predicts_per_client}"
+            )
+        if self.mode not in ("closed", "open"):
+            raise ValidationError(
+                f"mode must be 'closed' or 'open', got {self.mode!r}"
+            )
+        if self.samples < 4 or self.features < 1 or self.query_rows < 1:
+            raise ValidationError(
+                "need samples >= 4, features >= 1 and query_rows >= 1"
+            )
+        if self.arrival_spacing_seconds < 0:
+            raise ValidationError("arrival spacing cannot be negative")
+
+
+@dataclass(frozen=True)
+class ClientPlan:
+    """One session of the schedule: identity, seed, arrival time."""
+
+    client_id: str
+    seed: int
+    start_offset: float
+
+
+def build_schedule(config: LoadgenConfig) -> list:
+    """The deterministic per-client schedule for a configuration."""
+    offsets = [0.0] * config.clients
+    if config.mode == "open":
+        rng = np.random.default_rng(derive_seed(config.seed, "arrivals"))
+        gaps = rng.exponential(
+            scale=max(config.arrival_spacing_seconds, 1e-9),
+            size=config.clients,
+        )
+        offsets = [float(v) for v in np.cumsum(gaps)]
+    return [
+        ClientPlan(
+            client_id=f"c{position:03d}",
+            seed=derive_seed(config.seed, f"client:{position}"),
+            start_offset=offsets[position],
+        )
+        for position in range(config.clients)
+    ]
+
+
+def _session_data(plan: ClientPlan, config: LoadgenConfig) -> tuple:
+    """Deterministic (X, y, queries) for one client session."""
+    rng = np.random.default_rng(plan.seed)
+    X = rng.standard_normal((config.samples, config.features))
+    y = (X[:, 0] + 0.5 * X[:, -1] > 0.0).astype(np.intp)
+    if y.min() == y.max():
+        y[0] = 1 - y[0]  # force two classes for degenerate draws
+    queries = rng.standard_normal((config.query_rows, config.features))
+    return X, y, queries
+
+
+def _choose_classifier(controls, plan: ClientPlan) -> str | None:
+    """Deterministic classifier pick from the platform's Table 1 row."""
+    abbrs = [option.abbr for option in controls.classifiers]
+    if not abbrs:
+        return None
+    rng = np.random.default_rng(derive_seed(plan.seed, "classifier"))
+    return abbrs[int(rng.integers(0, len(abbrs)))]
+
+
+def _digest(predictions) -> int:
+    """Content digest of one prediction payload (dtype-sensitive)."""
+    array = np.ascontiguousarray(predictions)
+    return zlib.crc32(str(array.dtype).encode()
+                      + array.tobytes()) % (2**31)
+
+
+class _Recorder:
+    """Thread-safe accumulator for per-request load-test records."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+
+    def add(self, client_id: str, operation: str, latency: float,
+            ok: bool, kind: str | None = None,
+            digest: int | None = None) -> None:
+        with self._lock:
+            self._records.append({
+                "client_id": client_id,
+                "operation": operation,
+                "latency": float(latency),
+                "ok": bool(ok),
+                "kind": kind,
+                "digest": digest,
+            })
+
+    def all(self) -> list:
+        with self._lock:
+            return list(self._records)
+
+
+def _run_session(client, plan: ClientPlan, config: LoadgenConfig,
+                 clock, recorder: _Recorder) -> None:
+    """Drive one client session, recording every request."""
+    X, y, queries = _session_data(plan, config)
+    classifier = _choose_classifier(client.controls, plan)
+
+    def call(operation, fn, *args, **kwargs):
+        started = clock.now()
+        try:
+            result = fn(*args, **kwargs)
+        except ReproError as exc:
+            recorder.add(plan.client_id, operation, clock.now() - started,
+                         ok=False, kind=type(exc).__name__)
+            return None, False
+        recorder.add(plan.client_id, operation, clock.now() - started,
+                     ok=True,
+                     digest=_digest(result) if operation == "batch_predict"
+                     else None)
+        return result, True
+
+    dataset_id, ok = call("upload_dataset", client.upload_dataset, X, y,
+                          name=f"loadgen-{plan.client_id}")
+    if not ok:
+        return
+    model_id, ok = call("create_model", client.create_model, dataset_id,
+                        classifier=classifier)
+    if ok:
+        handle, ok = call("get_model", client.get_model, model_id)
+    if ok and handle.state is JobState.COMPLETED:
+        for _ in range(config.predicts_per_client):
+            call("batch_predict", client.batch_predict, model_id, queries)
+    call("delete_dataset", client.delete_dataset, dataset_id)
+
+
+def run_load(client_factory, config: LoadgenConfig,
+             clock=None, parallel: bool = True) -> dict:
+    """Execute a schedule and return the deterministic-shaped report.
+
+    Parameters
+    ----------
+    client_factory : callable
+        ``client_factory(client_id) -> platform-surface client``; called
+        once per session so each thread owns its connection.
+    config : LoadgenConfig
+        The seeded schedule.
+    clock : VirtualClock or WallClock or None
+        Time source for latencies and open-loop arrival pacing.
+    parallel : bool
+        When False the sessions run sequentially in schedule order
+        (arrival offsets are skipped) — the serial reference whose
+        ``payload_digest`` a concurrent run must reproduce.
+
+    Returns the report dict: request/failure counts, throughput,
+    per-operation and overall :func:`percentile_summary` latencies, and
+    the order-independent ``payload_digest``.
+    """
+    clock = clock if clock is not None else WallClock()
+    plans = build_schedule(config)
+    recorder = _Recorder()
+    errors: list = []
+    errors_lock = threading.Lock()
+
+    def session(plan: ClientPlan) -> None:
+        try:
+            if parallel and plan.start_offset > 0.0:
+                clock.sleep(plan.start_offset)
+            client = client_factory(plan.client_id)
+            _run_session(client, plan, config, clock, recorder)
+        except Exception as exc:  # re-raised by the caller below
+            with errors_lock:
+                errors.append(exc)
+
+    started = clock.now()
+    if parallel:
+        threads = [
+            threading.Thread(target=session, args=(plan,), daemon=True,
+                             name=f"loadgen-{plan.client_id}")
+            for plan in plans
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        for plan in plans:
+            session(plan)
+    elapsed = clock.now() - started
+    if errors:
+        raise errors[0]
+    return _build_report(recorder.all(), config, elapsed)
+
+
+def _build_report(records: list, config: LoadgenConfig,
+                  elapsed: float) -> dict:
+    """Aggregate raw records into the JSON report."""
+    by_operation: dict[str, list] = {}
+    failures: dict[str, int] = {}
+    digest_lines = []
+    for record in records:
+        by_operation.setdefault(record["operation"], []).append(
+            record["latency"]
+        )
+        if not record["ok"]:
+            failures[record["kind"]] = failures.get(record["kind"], 0) + 1
+        if record["digest"] is not None:
+            digest_lines.append(
+                f"{record['client_id']}:{record['operation']}:"
+                f"{record['digest']}"
+            )
+    all_latencies = [record["latency"] for record in records]
+    combined = zlib.crc32("\n".join(sorted(digest_lines)).encode()) % (2**31)
+    return {
+        "mode": config.mode,
+        "seed": config.seed,
+        "clients": config.clients,
+        "predicts_per_client": config.predicts_per_client,
+        "requests_total": len(records),
+        "requests_failed": sum(1 for r in records if not r["ok"]),
+        "failures": dict(sorted(failures.items())),
+        "elapsed_seconds": round(elapsed, 9),
+        "throughput_rps": round(len(records) / elapsed, 9) if elapsed > 0
+        else None,
+        "operations": {
+            operation: percentile_summary(latencies)
+            for operation, latencies in sorted(by_operation.items())
+        },
+        "overall_latency": percentile_summary(all_latencies),
+        "payload_digest": combined,
+    }

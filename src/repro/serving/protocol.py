@@ -1,0 +1,294 @@
+"""Wire protocol for the served platform simulators.
+
+The paper measured MLaaS platforms *over a wire* — JSON request bodies,
+HTTP status codes, batch predictions (§3.2) — while our simulators are
+in-process objects.  This module pins the translation layer both sides
+of :mod:`repro.serving` share:
+
+* exact JSON array encoding (dtype + nested lists; Python's shortest
+  round-trip ``float`` repr makes the float64 encoding bit-exact, which
+  the job-seed derivation in :mod:`repro.platforms.base` depends on),
+* the :class:`~repro.platforms.base.ModelHandle` wire form, including
+  structured :class:`~repro.platforms.base.TrainingFailure` records,
+* the error taxonomy mapping: every :class:`~repro.exceptions.ReproError`
+  subclass has one HTTP status, and the client maps the status + ``kind``
+  field back to the *same* exception class — so the scheduler's retry
+  logic (:func:`repro.service.resilience.is_transient`) works unchanged
+  over the wire, and
+* :class:`ServingLimits`, the request-size/batch/soft-timeout caps the
+  middleware enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    JobFailedError,
+    PayloadTooLargeError,
+    PlatformError,
+    QuotaExceededError,
+    ReproError,
+    ResourceNotFoundError,
+    UnsupportedControlError,
+    ValidationError,
+)
+from repro.platforms.base import JobState, ModelHandle, TrainingFailure
+
+__all__ = [
+    "ERROR_STATUS",
+    "KIND_TO_ERROR",
+    "Request",
+    "Response",
+    "ServingLimits",
+    "decode_array",
+    "decode_json_body",
+    "encode_array",
+    "error_body",
+    "handle_from_wire",
+    "handle_to_wire",
+    "raise_for_error",
+    "status_for_exception",
+]
+
+#: Exception class name -> HTTP status, most specific first.  Unlisted
+#: ReproError subclasses fall back to their nearest listed ancestor via
+#: :func:`status_for_exception`; non-Repro errors are a 500.
+ERROR_STATUS = {
+    "ValidationError": 400,
+    "UnsupportedControlError": 400,
+    "ResourceNotFoundError": 404,
+    "JobFailedError": 409,
+    "PayloadTooLargeError": 413,
+    "QuotaExceededError": 429,
+    "DeadlineExceededError": 504,
+    "PlatformError": 502,
+    "ReproError": 500,
+}
+
+#: The client-side inverse: error ``kind`` -> exception class.
+KIND_TO_ERROR = {
+    "ValidationError": ValidationError,
+    "UnsupportedControlError": UnsupportedControlError,
+    "ResourceNotFoundError": ResourceNotFoundError,
+    "JobFailedError": JobFailedError,
+    "PayloadTooLargeError": PayloadTooLargeError,
+    "QuotaExceededError": QuotaExceededError,
+    "DeadlineExceededError": DeadlineExceededError,
+    "PlatformError": PlatformError,
+    "ReproError": ReproError,
+}
+
+
+@dataclass(frozen=True)
+class ServingLimits:
+    """Per-request caps the serving middleware enforces.
+
+    Attributes
+    ----------
+    max_body_bytes : int
+        Largest accepted request body; bigger bodies are rejected with
+        HTTP 413 *before* JSON parsing.
+    max_batch_rows : int
+        Largest accepted upload/predict batch (rows of ``X``); real
+        MLaaS APIs cap batch predictions separately from body size.
+    soft_timeout_seconds : float or None
+        Per-request deadline on the gateway clock; a request whose
+        handling ran longer answers HTTP 504.  ``None`` disables it.
+    """
+
+    max_body_bytes: int = 8_000_000
+    max_batch_rows: int = 10_000
+    soft_timeout_seconds: float | None = 30.0
+
+    def __post_init__(self):
+        if self.max_body_bytes < 1 or self.max_batch_rows < 1:
+            raise ValidationError(
+                "serving limits must be positive, got "
+                f"max_body_bytes={self.max_body_bytes}, "
+                f"max_batch_rows={self.max_batch_rows}"
+            )
+        if self.soft_timeout_seconds is not None \
+                and self.soft_timeout_seconds < 0:
+            raise ValidationError(
+                f"soft_timeout_seconds cannot be negative, "
+                f"got {self.soft_timeout_seconds}"
+            )
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request as the middleware stack sees it."""
+
+    method: str
+    path: str
+    raw_body: bytes = b""
+    headers: dict = field(default_factory=dict)
+    request_id: str = ""
+
+    @property
+    def segments(self) -> tuple:
+        """Path split on ``/`` with empties dropped (routing key)."""
+        return tuple(part for part in self.path.split("/") if part)
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object (400 on malformed input)."""
+        return decode_json_body(self.raw_body)
+
+
+@dataclass
+class Response:
+    """One JSON response ready for the HTTP layer to serialize."""
+
+    status: int = 200
+    body: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+
+    def payload(self) -> bytes:
+        """The UTF-8 JSON rendering (sorted keys: deterministic bytes)."""
+        return json.dumps(self.body, sort_keys=True).encode("utf-8")
+
+
+def encode_array(array) -> dict:
+    """JSON-encode an ndarray with enough metadata to rebuild it exactly.
+
+    ``data`` is nested lists (JSON numbers round-trip Python floats
+    bit-exactly via the shortest-repr algorithm); ``dtype`` restores the
+    width so re-encoded bytes — and therefore the platform's per-job
+    seed digest — are identical to the in-process arrays.
+    """
+    array = np.asarray(array)
+    return {"dtype": str(array.dtype), "data": array.tolist()}
+
+
+def decode_array(payload, context: str = "array") -> np.ndarray:
+    """Rebuild an ndarray encoded by :func:`encode_array`.
+
+    Raises :class:`~repro.exceptions.ValidationError` (HTTP 400) when
+    the payload is structurally malformed — the serving edge's first
+    line of defence before :func:`repro.learn.validation.check_array`
+    normalizes the numeric content.
+    """
+    if not isinstance(payload, dict) or "data" not in payload:
+        raise ValidationError(
+            f"{context} must be an object with 'data' (and optional "
+            f"'dtype'), got {type(payload).__name__}"
+        )
+    dtype = payload.get("dtype", "float64")
+    try:
+        return np.asarray(payload["data"], dtype=np.dtype(dtype))
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{context} is not decodable: {exc}") from None
+
+
+def decode_json_body(raw_body: bytes) -> dict:
+    """Parse a request body as a JSON object, raising structured 400s."""
+    if not raw_body:
+        raise ValidationError("request body is empty; expected a JSON object")
+    try:
+        decoded = json.loads(raw_body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            f"request body is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(decoded, dict):
+        raise ValidationError(
+            f"request body must be a JSON object, "
+            f"got {type(decoded).__name__}"
+        )
+    return decoded
+
+
+def status_for_exception(exc: Exception) -> int:
+    """The HTTP status an exception maps to (500 for unknown kinds)."""
+    for klass in type(exc).__mro__:
+        status = ERROR_STATUS.get(klass.__name__)
+        if status is not None:
+            return status
+    return 500
+
+
+def error_body(exc: Exception, request_id: str) -> dict:
+    """The structured JSON error envelope every failure response uses."""
+    return {
+        "error": {
+            "kind": type(exc).__name__,
+            "detail": str(exc),
+            "request_id": request_id,
+        }
+    }
+
+
+def raise_for_error(status: int, body: dict) -> None:
+    """Client side: re-raise a served error as its in-process exception.
+
+    The exception ``detail`` crosses the wire verbatim, so
+    ``str(exc)`` — which the runner records as ``failure_reason`` and
+    :func:`~repro.service.resilience.is_transient` substring-matches —
+    is identical to the in-process behaviour.
+    """
+    error = body.get("error") if isinstance(body, dict) else None
+    if not isinstance(error, dict):
+        raise PlatformError(
+            f"server answered HTTP {status} without a structured error body"
+        )
+    kind = error.get("kind", "")
+    detail = error.get("detail", f"server answered HTTP {status}")
+    exc_class = KIND_TO_ERROR.get(kind)
+    if exc_class is None:
+        raise PlatformError(f"{kind}: {detail}")
+    restored = exc_class(detail)
+    raise restored
+
+
+def handle_to_wire(handle: ModelHandle) -> dict:
+    """Serialize a model handle (estimator stays server-side)."""
+    failure = handle.failure_reason
+    return {
+        "model_id": handle.model_id,
+        "dataset_id": handle.dataset_id,
+        "state": handle.state.value,
+        "classifier": handle.classifier_abbr,
+        "params": sorted(handle.params.items()),
+        "feature_selection": handle.feature_selection,
+        "failure_reason": failure.to_dict() if failure is not None else None,
+        "metadata": _wire_metadata(handle.metadata),
+    }
+
+
+def handle_from_wire(payload: dict) -> ModelHandle:
+    """Rebuild a client-side model handle from its wire form.
+
+    The estimator is absent by design — predictions go back through the
+    service — but state, failure structure and metadata round-trip, so
+    :meth:`repro.core.runner.ExperimentRunner.run_one` treats a remote
+    handle exactly like a local one.
+    """
+    if not isinstance(payload, dict) or "model_id" not in payload:
+        raise ValidationError(
+            "model payload must be an object with 'model_id'"
+        )
+    failure = payload.get("failure_reason")
+    return ModelHandle(
+        model_id=payload["model_id"],
+        dataset_id=payload.get("dataset_id", ""),
+        state=JobState(payload.get("state", JobState.QUEUED.value)),
+        classifier_abbr=payload.get("classifier"),
+        params={name: value for name, value in payload.get("params", [])},
+        feature_selection=payload.get("feature_selection"),
+        estimator=None,
+        failure_reason=TrainingFailure(**failure) if failure else None,
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def _wire_metadata(metadata: dict) -> dict:
+    """JSON-safe subset of a handle's metadata (numbers/strings only)."""
+    return {
+        key: value for key, value in metadata.items()
+        if isinstance(value, (int, float, str, bool))
+    }

@@ -55,9 +55,10 @@ LAYERS = (
     ),
     Layer(
         name="measurement",
-        packages=("repro.core", "repro.analysis", "repro.service"),
+        packages=("repro.core", "repro.analysis", "repro.service",
+                  "repro.serving"),
         description="study orchestration, runner, campaign service layer, "
-                    "and analysis of results",
+                    "HTTP serving front-end, and analysis of results",
     ),
     Layer(
         name="interface",

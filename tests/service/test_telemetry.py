@@ -98,3 +98,62 @@ def test_concurrent_recording_is_consistent():
         t.join()
     assert telemetry.counter_value("requests_total") == 4000
     assert telemetry.snapshot()["histograms"]["latency"]["count"] == 4000
+
+
+def test_exact_quantile_interpolates_linearly():
+    from repro.service import exact_quantile
+
+    samples = [1.0, 2.0, 3.0, 4.0]
+    assert exact_quantile(samples, 0.0) == 1.0
+    assert exact_quantile(samples, 1.0) == 4.0
+    assert exact_quantile(samples, 0.5) == pytest.approx(2.5)
+    assert exact_quantile(samples, 0.25) == pytest.approx(1.75)
+    assert exact_quantile([7.0], 0.99) == 7.0
+    with pytest.raises(ValueError):
+        exact_quantile(samples, 50.0)
+    with pytest.raises(ValueError):
+        exact_quantile([], 0.5)
+
+
+def test_percentile_summary_shape_and_determinism():
+    from repro.service import percentile_summary
+
+    assert percentile_summary([]) == {"count": 0}
+    summary = percentile_summary([0.3, 0.1, 0.2])
+    assert summary["count"] == 3
+    assert summary["min"] == 0.1
+    assert summary["max"] == 0.3
+    assert summary["mean"] == pytest.approx(0.2)
+    assert summary["p50"] == 0.2
+    assert summary["p99"] > summary["p50"]
+    # Deterministic JSON: same samples in any order, same rendering.
+    a = json.dumps(percentile_summary([0.3, 0.1, 0.2]), sort_keys=True)
+    b = json.dumps(percentile_summary([0.2, 0.3, 0.1]), sort_keys=True)
+    assert a == b
+
+
+def test_record_sample_keeps_exact_values_and_summarizes():
+    telemetry = Telemetry()
+    for value in (0.4, 0.2, 0.9):
+        telemetry.record_sample("latency_samples.predict", value)
+    assert telemetry.sample_values("latency_samples.predict") == \
+        [0.4, 0.2, 0.9]
+    assert telemetry.sample_values("nothing") == []
+    summaries = telemetry.sample_summaries()
+    assert summaries["latency_samples.predict"]["count"] == 3
+    assert summaries["latency_samples.predict"]["p50"] == 0.4
+
+
+def test_concurrent_sample_recording_is_complete():
+    telemetry = Telemetry()
+
+    def record(worker):
+        for index in range(200):
+            telemetry.record_sample("shared", float(worker * 1000 + index))
+
+    threads = [threading.Thread(target=record, args=(w,)) for w in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert telemetry.sample_summaries()["shared"]["count"] == 1200

@@ -1,0 +1,1 @@
+"""Tests for the HTTP serving layer (:mod:`repro.serving`)."""

@@ -1,0 +1,137 @@
+"""Load-generator determinism, digest equivalence and failure reporting.
+
+The in-process platforms expose the same surface as
+:class:`HTTPPlatformClient`, so most tests drive :func:`run_load`
+directly against them — fast, no sockets — and one test closes the loop
+over real HTTP.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PlatformError, ValidationError
+from repro.platforms import BigML, Google
+from repro.serving import (
+    HTTPPlatformClient,
+    LoadgenConfig,
+    ServingGateway,
+    build_schedule,
+    run_load,
+    serve_background,
+)
+from repro.serving.loadgen import derive_seed
+
+
+def bigml_factory(client_id):
+    """Each session gets its own in-process platform instance."""
+    return BigML(random_state=0)
+
+
+def test_config_validation():
+    with pytest.raises(ValidationError):
+        LoadgenConfig(clients=0)
+    with pytest.raises(ValidationError):
+        LoadgenConfig(mode="bursty")
+    with pytest.raises(ValidationError):
+        LoadgenConfig(samples=2)
+    with pytest.raises(ValidationError):
+        LoadgenConfig(arrival_spacing_seconds=-1.0)
+
+
+def test_schedule_is_deterministic_and_seed_sensitive():
+    config = LoadgenConfig(clients=4, mode="open", seed=9)
+    first = build_schedule(config)
+    second = build_schedule(config)
+    assert first == second
+    assert [plan.client_id for plan in first] == [
+        "c000", "c001", "c002", "c003",
+    ]
+    offsets = [plan.start_offset for plan in first]
+    assert offsets == sorted(offsets)
+    assert all(offset > 0 for offset in offsets)
+    reseeded = build_schedule(LoadgenConfig(clients=4, mode="open", seed=10))
+    assert [p.seed for p in reseeded] != [p.seed for p in first]
+
+
+def test_closed_mode_starts_everyone_at_zero():
+    for plan in build_schedule(LoadgenConfig(clients=3, mode="closed")):
+        assert plan.start_offset == 0.0
+
+
+def test_derive_seed_is_stable_and_label_sensitive():
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_parallel_and_serial_runs_share_the_payload_digest():
+    config = LoadgenConfig(clients=4, predicts_per_client=2, seed=3)
+    parallel = run_load(bigml_factory, config, parallel=True)
+    serial = run_load(bigml_factory, config, parallel=False)
+    assert parallel["payload_digest"] == serial["payload_digest"]
+    assert parallel["requests_failed"] == serial["requests_failed"] == 0
+    assert parallel["requests_total"] == serial["requests_total"]
+    # 4 sessions x (upload + create + get + 2 predicts + delete)
+    assert parallel["requests_total"] == 4 * 6
+
+
+def test_digest_is_stable_across_runs_and_platform_sensitive():
+    config = LoadgenConfig(clients=2, predicts_per_client=1, seed=5)
+    first = run_load(bigml_factory, config)
+    second = run_load(bigml_factory, config)
+    assert first["payload_digest"] == second["payload_digest"]
+    google = run_load(lambda cid: Google(random_state=0), config)
+    assert google["payload_digest"] != first["payload_digest"]
+
+
+def test_report_shape_and_percentiles():
+    config = LoadgenConfig(clients=2, predicts_per_client=2, seed=1,
+                           mode="open")
+    report = run_load(bigml_factory, config)
+    assert report["mode"] == "open"
+    assert report["seed"] == 1
+    assert set(report["operations"]) == {
+        "upload_dataset", "create_model", "get_model", "batch_predict",
+        "delete_dataset",
+    }
+    for summary in report["operations"].values():
+        assert {"count", "mean", "min", "max", "p50", "p95", "p99"} \
+            <= set(summary)
+    assert report["overall_latency"]["count"] == report["requests_total"]
+    assert report["throughput_rps"] is None or report["throughput_rps"] > 0
+
+
+class _FlakyPredictPlatform(BigML):
+    """BigML whose predictions always fail — for failure accounting."""
+
+    def batch_predict(self, model_id, X):
+        raise PlatformError("synthetic prediction outage")
+
+
+def test_failures_are_counted_by_kind_not_raised():
+    config = LoadgenConfig(clients=2, predicts_per_client=3, seed=0)
+    report = run_load(lambda cid: _FlakyPredictPlatform(random_state=0),
+                      config)
+    assert report["requests_failed"] == 6
+    assert report["failures"] == {"PlatformError": 6}
+    # Sessions keep going: every other operation still succeeded.
+    assert report["requests_total"] == 2 * 7
+
+
+def test_loadgen_digest_matches_over_real_http():
+    gateway = ServingGateway([BigML(random_state=0)])
+    server, thread = serve_background(gateway)
+    try:
+        config = LoadgenConfig(clients=3, predicts_per_client=2, seed=7)
+        over_http = run_load(
+            lambda cid: HTTPPlatformClient(server.url, "bigml",
+                                           client_id=cid),
+            config,
+        )
+    finally:
+        server.shutdown()
+        thread.join()
+        server.server_close()
+    in_process = run_load(bigml_factory, config, parallel=False)
+    assert over_http["payload_digest"] == in_process["payload_digest"]
+    assert over_http["requests_failed"] == 0

@@ -93,3 +93,90 @@ def test_run_guarded_reraises_control_flow_exits():
 
     with pytest.raises(SystemExit):
         run_guarded(bail, None)
+
+
+# -- the serving subcommands share the same taxonomy ---------------------
+
+
+def test_loadgen_clean_run_exits_zero(tmp_path):
+    report_path = tmp_path / "report.json"
+    out = io.StringIO()
+    code = repro.cli.main([
+        "loadgen", "--loopback", "--platform", "bigml",
+        "--clients", "2", "--predicts", "1", "--seed", "3",
+        "--samples", "24", "--compare-serial",
+        "--output", str(report_path),
+    ], out=out)
+    assert code == EXIT_CLEAN
+    import json
+
+    report = json.loads(report_path.read_text())
+    assert report["requests_failed"] == 0
+    assert report["serial_equivalent"] is True
+    assert report["overall_latency"]["p99"] >= report["overall_latency"]["p50"]
+
+
+def test_loadgen_usage_errors_exit_two(capsys):
+    # argparse rejects a missing target (--url/--loopback) with SystemExit 2.
+    with pytest.raises(SystemExit) as excinfo:
+        repro.cli.main(["loadgen", "--clients", "2"], out=io.StringIO())
+    assert excinfo.value.code == EXIT_USAGE
+    # Config validation failures map to the same usage exit code.
+    code = repro.cli.main(
+        ["loadgen", "--loopback", "--clients", "0"], out=io.StringIO())
+    assert code == EXIT_USAGE
+    assert "usage error" in capsys.readouterr().err
+
+
+def test_loadgen_failed_requests_exit_one(capsys):
+    # An unreachable server: every request fails, reported as findings.
+    code = repro.cli.main([
+        "loadgen", "--url", "http://127.0.0.1:9",  # port 9: discard
+        "--platform", "bigml", "--clients", "1", "--predicts", "0",
+    ], out=io.StringIO())
+    assert code == EXIT_FINDINGS
+    assert "requests failed" in capsys.readouterr().err
+
+
+def test_serve_usage_errors_exit_two(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        repro.cli.main(["serve", "--platform", "quantum"],
+                       out=io.StringIO())
+    assert excinfo.value.code == EXIT_USAGE
+    code = repro.cli.main(["serve", "--max-body-bytes", "0"],
+                          out=io.StringIO())
+    assert code == EXIT_USAGE
+    assert "usage error" in capsys.readouterr().err
+
+
+def test_serve_request_budget_run_exits_zero():
+    import threading
+
+    out = io.StringIO()
+    codes = []
+
+    def serve():
+        codes.append(repro.cli.main([
+            "serve", "--platform", "bigml", "--port", "0",
+            "--max-requests", "2",
+        ], out=out))
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    url = None
+    for _ in range(200):
+        text = out.getvalue()
+        if " at http://" in text:
+            url = text.split(" at ")[1].split()[0]
+            break
+        thread.join(timeout=0.05)
+    assert url is not None, f"server never announced itself: {out.getvalue()!r}"
+
+    from repro.serving import HTTPPlatformClient
+
+    client = HTTPPlatformClient(url, "bigml")
+    assert client.health()["status"] == "ok"
+    assert client.health()["status"] == "ok"
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert codes == [EXIT_CLEAN]
