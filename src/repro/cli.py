@@ -9,7 +9,9 @@ Gives downstream users the common study operations without writing code:
 * ``boundary``  — probe a platform's decision boundary on a 2-D dataset.
 * ``campaign``  — run a protocol through the concurrent campaign
   scheduler (:mod:`repro.service`): worker pool, retries, telemetry,
-  checkpoint/resume, optional serial-equality verification.
+  checkpoint/resume, optional serial-equality verification.  With
+  ``--processes N`` the CPU-bound grid fans out dataset-keyed shards
+  over a process pool (bit-identical, resumable) instead of threads.
 * ``serve``     — expose the platform simulators over HTTP
   (:mod:`repro.serving`): JSON endpoints for upload/train/predict,
   structured access logs, ``/metrics/summary`` percentiles.
@@ -112,12 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign",
-        help="run a measurement campaign on the concurrent scheduler",
+        help="run a measurement campaign on the concurrent scheduler "
+             "(threads) or the process-sharded engine (--processes)",
     )
     campaign.add_argument("--protocol", choices=["baseline", "optimized"],
                           default="baseline")
-    campaign.add_argument("--workers", type=int, default=4,
-                          help="worker threads (default 4)")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="worker threads (default 4; ignored when "
+                               "--processes > 1)")
+    campaign.add_argument("--processes", type=int, default=1,
+                          help="worker processes for the CPU-bound "
+                               "dataset-sharded backend (default 1: "
+                               "thread scheduler)")
     campaign.add_argument("--datasets", type=int, default=6,
                           help="corpus subset size (default 6)")
     campaign.add_argument("--size-cap", type=int, default=200,
@@ -280,8 +288,16 @@ def _cmd_campaign(args, out) -> int:
         max_datasets=args.datasets, size_cap=args.size_cap,
         feature_cap=12, para_grid="default",
     )
-    study = MLaaSStudy(scale=scale, random_state=args.seed,
-                       workers=max(1, args.workers))
+    processes = args.processes
+    workers = args.workers
+    if workers is None:
+        workers = 1 if processes > 1 else 4
+    try:
+        study = MLaaSStudy(scale=scale, random_state=args.seed,
+                           workers=workers, processes=processes)
+    except ValidationError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     resume_from = ResultStore.load(args.resume) if args.resume else None
     started = time.perf_counter()
     store = study.run_campaign(
@@ -291,6 +307,8 @@ def _cmd_campaign(args, out) -> int:
     )
     campaign_seconds = time.perf_counter() - started
 
+    backend = (f"processes={processes}" if processes > 1
+               else f"workers={workers}")
     summaries = platform_summary(store)
     print(render_table(
         ["platform", "avg fried.", "f-score", "accuracy", "precision", "recall"],
@@ -300,17 +318,25 @@ def _cmd_campaign(args, out) -> int:
                ("f_score", "accuracy", "precision", "recall")]
             for s in summaries
         ],
-        title=f"Campaign ({args.protocol}, workers={args.workers}): "
+        title=f"Campaign ({args.protocol}, {backend}): "
               f"{len(store)} measurements in {campaign_seconds:.2f}s",
     ), file=out)
 
     telemetry = study.telemetry
     snapshot = telemetry.snapshot()
     counters = snapshot["counters"]
-    print(f"\ntelemetry: {counters.get('requests_total', 0)} requests, "
-          f"{counters.get('retries_total', 0)} retries, "
-          f"{counters.get('jobs_resumed', 0)} resumed, "
-          f"{counters.get('jobs_failed', 0)} failed jobs", file=out)
+    if processes > 1:
+        print(f"\ntelemetry: {counters.get('shards_done', 0)}/"
+              f"{counters.get('shards_total', 0)} shards, "
+              f"{counters.get('jobs_resumed', 0)} resumed, "
+              f"{counters.get('jobs_failed', 0)} failed jobs, "
+              f"fit cache {counters.get('fit_cache_hits', 0)} hits / "
+              f"{counters.get('fit_cache_misses', 0)} misses", file=out)
+    else:
+        print(f"\ntelemetry: {counters.get('requests_total', 0)} requests, "
+              f"{counters.get('retries_total', 0)} retries, "
+              f"{counters.get('jobs_resumed', 0)} resumed, "
+              f"{counters.get('jobs_failed', 0)} failed jobs", file=out)
     if args.telemetry_out:
         telemetry.save(args.telemetry_out)
         print(f"telemetry snapshot written to {args.telemetry_out}", file=out)
@@ -461,7 +487,9 @@ def main(argv=None, out=None) -> int:
     if args.command == "optimized":
         return _cmd_study(args, optimized=True, out=out)
     if args.command == "campaign":
-        return _cmd_campaign(args, out=out)
+        # Same 0/1/2/3 exit taxonomy as the analyzers: 0 clean, 1 the
+        # campaign diverged from serial, 2 unusable invocation, 3 crash.
+        return run_guarded(_cmd_campaign, args, out=out)
     if args.command == "boundary":
         return _cmd_boundary(args, out=out)
     if args.command == "serve":

@@ -10,6 +10,7 @@ JSON so long sweeps can be checkpointed.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -157,9 +158,23 @@ class ResultStore:
     # -- persistence ------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the store to a JSON file (see :meth:`load`)."""
-        payload = [result.to_dict() for result in self._results]
-        Path(path).write_text(json.dumps(payload, indent=1, default=str))
+        """Write the store to a JSON file (see :meth:`load`), atomically.
+
+        The payload is serialized first, written to a ``<name>.tmp``
+        sibling, and moved over the destination with :func:`os.replace`
+        (atomic within a filesystem).  A checkpoint writer killed at any
+        instant therefore leaves either the previous complete checkpoint
+        or the new one — never a truncated file that would poison a
+        campaign resume.
+        """
+        path = Path(path)
+        rendered = json.dumps(
+            [result.to_dict() for result in self._results],
+            indent=1, default=str,
+        )
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(rendered)
+        os.replace(tmp, path)
 
     @staticmethod
     def load(path: str | Path) -> "ResultStore":

@@ -94,6 +94,14 @@ class MLaaSStudy:
         keeps the serial sweep; ``> 1`` routes every protocol through
         :class:`repro.service.CampaignScheduler`, which guarantees the
         result store is identical to the serial path.
+    processes : int
+        Worker processes.  ``> 1`` routes every protocol through the
+        process-sharded :class:`repro.service.ShardedCampaign` — the
+        CPU-bound full-grid path past the GIL, still bit-identical to
+        serial.  Threads and processes are alternative backends: at most
+        one of ``workers``/``processes`` may exceed 1, and process mode
+        does not accept an injected ``clock`` (it cannot cross the
+        pickling boundary).
     clock : callable or None
         Optional shared time source with the :class:`VirtualClock`
         interface.  When given it is passed to every platform the study
@@ -108,13 +116,28 @@ class MLaaSStudy:
         platforms=None,
         random_state: int = 0,
         workers: int = 1,
+        processes: int = 1,
         clock=None,
     ):
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
+        if processes < 1:
+            raise ValidationError(f"processes must be >= 1, got {processes}")
+        if workers > 1 and processes > 1:
+            raise ValidationError(
+                "choose one campaign backend: thread workers "
+                f"(workers={workers}) or process shards "
+                f"(processes={processes}), not both"
+            )
+        if processes > 1 and clock is not None:
+            raise ValidationError(
+                "process-sharded campaigns cannot use an injected clock; "
+                "it does not cross the pickling boundary"
+            )
         self.scale = scale or StudyScale.small()
         self.random_state = random_state
         self.workers = int(workers)
+        self.processes = int(processes)
         self.clock = clock
         platform_kwargs = {"random_state": random_state}
         if clock is not None:
@@ -188,8 +211,8 @@ class MLaaSStudy:
         return plan
 
     def _run_plan(self, plan: list) -> ResultStore:
-        """Execute a plan serially, or as a campaign when ``workers > 1``."""
-        if self.workers > 1:
+        """Execute a plan serially, or as a campaign with workers/processes."""
+        if self.workers > 1 or self.processes > 1:
             return self.run_campaign_plan(plan)
         store = ResultStore()
         for platform, configurations in plan:
@@ -205,25 +228,37 @@ class MLaaSStudy:
         checkpoint_path=None,
         checkpoint_every: int = 200,
     ) -> ResultStore:
-        """Run a plan through the concurrent campaign scheduler.
+        """Run a plan through the concurrent campaign backend.
 
-        Results are identical to the serial path regardless of
-        ``workers``; the scheduler's :class:`~repro.service.Telemetry`
-        is kept on ``self.telemetry`` for inspection/export.
+        ``processes > 1`` fans dataset-keyed shards over a process pool
+        (:class:`~repro.service.ShardedCampaign`), checkpointing after
+        every completed shard; otherwise the thread scheduler runs it,
+        checkpointing every ``checkpoint_every`` measurements.  Either
+        way the results are identical to the serial path, and the
+        backend's :class:`~repro.service.Telemetry` is kept on
+        ``self.telemetry`` for inspection/export.
         """
         # Imported here to keep repro.core importable without the service
         # layer at import time (service imports core.runner/core.results).
-        from repro.service import CampaignScheduler
+        from repro.service import CampaignScheduler, ShardedCampaign
 
+        platforms = [platform for platform, _ in plan]
+        configurations = {platform.name: configs
+                          for platform, configs in plan}
+        if self.processes > 1:
+            engine = ShardedCampaign(processes=self.processes)
+            store = engine.run(
+                self.runner, platforms, self.corpus, configurations,
+                resume_from=resume_from,
+                checkpoint_path=checkpoint_path,
+            )
+            self.telemetry = engine.telemetry
+            return store
         scheduler = CampaignScheduler(
             workers=self.workers, clock=self.clock, seed=self.random_state,
         )
         store = scheduler.run(
-            self.runner,
-            [platform for platform, _ in plan],
-            self.corpus,
-            {platform.name: configurations
-             for platform, configurations in plan},
+            self.runner, platforms, self.corpus, configurations,
             resume_from=resume_from,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,

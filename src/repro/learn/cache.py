@@ -27,6 +27,7 @@ execution order (the same pattern as per-platform backoff seeds in
 from __future__ import annotations
 
 import threading
+import weakref
 import zlib
 
 import numpy as np
@@ -36,17 +37,69 @@ from repro.learn.base import BaseEstimator, clone
 __all__ = ["FitCache", "array_digest", "params_token", "derive_candidate_seed"]
 
 
-def array_digest(array) -> str:
-    """Hex crc32 digest of an array's dtype, shape, and raw bytes.
-
-    Uses crc32 (not ``hash``, which is salted per process) so digests
-    are stable across processes and sessions.
-    """
+def _uncached_digest(array) -> str:
+    """The raw crc32 digest computation behind :func:`array_digest`."""
     contiguous = np.ascontiguousarray(array)
     digest = zlib.crc32(str(contiguous.dtype).encode())
     digest = zlib.crc32(str(contiguous.shape).encode(), digest)
     digest = zlib.crc32(contiguous.tobytes(), digest)
     return f"{digest:08x}"
+
+
+#: Identity memo for :func:`array_digest`: ``id(array)`` -> (weakref,
+#: shape, dtype, digest).  A grid sweep hashes the *same* training fold
+#: once per candidate; the memo computes the bytes digest once per array
+#: object instead.  Entries are validated by dereferencing the weakref
+#: (a recycled ``id`` after garbage collection can never alias a live
+#: entry) plus a shape/dtype guard.  Digested arrays are treated as
+#: read-only — the same contract :class:`FitCache` already imposes on
+#: the folds it stores.
+_DIGEST_MEMO: dict[int, tuple] = {}
+_DIGEST_MEMO_LOCK = threading.Lock()
+_DIGEST_MEMO_MAX = 2048
+
+
+def _digest_memo_purge() -> None:
+    """Drop dead entries (caller holds the memo lock)."""
+    dead = [key for key, (ref, _, _, _) in _DIGEST_MEMO.items()
+            if ref() is None]
+    for key in dead:
+        del _DIGEST_MEMO[key]
+
+
+def array_digest(array) -> str:
+    """Hex crc32 digest of an array's dtype, shape, and raw bytes.
+
+    Uses crc32 (not ``hash``, which is salted per process) so digests
+    are stable across processes and sessions.  Digests of ``ndarray``
+    inputs are memoized per array *identity* (weakref-verified, with a
+    shape/dtype guard), so hashing the same training fold for every
+    grid-search candidate costs one bytes-pass total; the digest itself
+    is content-derived, so equal-content arrays still collide to the
+    same key.  Arrays passed here must not be mutated in place
+    afterwards (the :class:`FitCache` read-only fold contract).
+    """
+    if not isinstance(array, np.ndarray):
+        return _uncached_digest(array)
+    key = id(array)
+    with _DIGEST_MEMO_LOCK:
+        entry = _DIGEST_MEMO.get(key)
+        if entry is not None:
+            ref, shape, dtype, digest = entry
+            if ref() is array and shape == array.shape \
+                    and dtype == array.dtype:
+                return digest
+    digest = _uncached_digest(array)
+    try:
+        ref = weakref.ref(array)
+    except TypeError:  # exotic ndarray subclass without weakref support
+        return digest
+    with _DIGEST_MEMO_LOCK:
+        if len(_DIGEST_MEMO) >= _DIGEST_MEMO_MAX:
+            _digest_memo_purge()
+        if len(_DIGEST_MEMO) < _DIGEST_MEMO_MAX:
+            _DIGEST_MEMO[key] = (ref, array.shape, array.dtype, digest)
+    return digest
 
 
 def params_token(value) -> str:
@@ -122,6 +175,46 @@ class FitCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every memoized fit, keeping the hit/miss counters.
+
+        Platforms call this when their last dataset is deleted so a
+        long-lived service does not pin dead arrays; the counters
+        survive so campaign accounting spans the whole run.
+        """
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Picklable accounting snapshot: entries / hits / misses.
+
+        This is what a campaign shard ships back across the process
+        boundary instead of the cache itself (entries hold fitted
+        estimators and transformed folds — data the parent does not
+        need).
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def merge_counts(self, stats) -> None:
+        """Fold another cache's hit/miss counters into this one.
+
+        ``stats`` is a :class:`FitCache` or a mapping like
+        :meth:`stats` returns.  Only the counters merge — entries stay
+        process-local — and addition is commutative, so merging shard
+        caches in serial shard order yields the same totals regardless
+        of which shard finished first.
+        """
+        if isinstance(stats, FitCache):
+            stats = stats.stats()
+        with self._lock:
+            self.hits += int(stats["hits"])
+            self.misses += int(stats["misses"])
 
     def key(self, estimator: BaseEstimator, X, y=None) -> str:
         """Content key for fitting ``estimator`` on ``(X, y)``."""

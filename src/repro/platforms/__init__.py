@@ -65,12 +65,17 @@ MLAAS_PLATFORMS = (ABM, Google, Amazon, PredictionIO, BigML, Microsoft)
 _BY_NAME = {cls.name: cls for cls in ALL_PLATFORMS}
 
 
-def make_platform(name: str, random_state: int = 0) -> MLaaSPlatform:
-    """Instantiate a platform by its lowercase name."""
+def make_platform(name: str, random_state: int = 0, fit_cache=None) -> MLaaSPlatform:
+    """Instantiate a platform by its lowercase name.
+
+    ``fit_cache`` optionally supplies a shared externally-owned
+    :class:`~repro.learn.cache.FitCache` (campaign shards pass one cache
+    to every platform they construct).
+    """
     try:
         cls = _BY_NAME[name]
     except KeyError:
         raise KeyError(
             f"unknown platform {name!r}; choose from {sorted(_BY_NAME)}"
         ) from None
-    return cls(random_state=random_state)
+    return cls(random_state=random_state, fit_cache=fit_cache)

@@ -276,6 +276,7 @@ class MLaaSPlatform:
         synchronous: bool = True,
         rate_limit_per_minute: int | None = None,
         clock=None,
+        fit_cache: FitCache | None = None,
     ):
         self.random_state = random_state
         #: When False, ``create_model`` only enqueues the job (QUEUED) and
@@ -297,8 +298,15 @@ class MLaaSPlatform:
         #: Content-keyed memo for pure pipeline-stage fits: a parameter
         #: sweep over one dataset re-fits the classifier per job but the
         #: shared feature-selection step only once (vendors pass this to
-        #: their ``_assemble`` pipelines).
-        self._fit_cache = FitCache()
+        #: their ``_assemble`` pipelines).  An externally supplied cache
+        #: (campaign shards share one across every platform they drive)
+        #: is never cleared by the platform — its owner decides when
+        #: entries die — while a platform-owned cache is emptied when
+        #: the last dataset is deleted.  Keys are content-derived, so
+        #: sharing a cache across platforms can only replay fits that
+        #: are bit-identical to recomputing them.
+        self._owns_fit_cache = fit_cache is None
+        self._fit_cache = FitCache() if fit_cache is None else fit_cache
 
     def _consume_request(self) -> None:
         """Record one API request, enforcing the rolling-minute quota."""
@@ -339,10 +347,11 @@ class MLaaSPlatform:
         if dataset_id not in self._datasets:
             raise ResourceNotFoundError(f"no dataset {dataset_id!r}")
         del self._datasets[dataset_id]
-        if not self._datasets:
+        if not self._datasets and self._owns_fit_cache:
             # No data left to train on: drop the memoized stage fits so
-            # a long-lived platform does not pin dead arrays.
-            self._fit_cache = FitCache()
+            # a long-lived platform does not pin dead arrays.  (Counters
+            # survive; a shared external cache is its owner's to clear.)
+            self._fit_cache.clear()
 
     def list_datasets(self) -> list[str]:
         """Ids of all stored datasets."""

@@ -16,18 +16,35 @@ against six rate-limited services):
   pool with fair round-robin dispatch, per-platform concurrency caps,
   backpressure, and checkpoint/resume, whose results are bit-identical
   to the serial sweep regardless of worker count.
+* :mod:`repro.service.dag` / :mod:`repro.service.sharding` —
+  :class:`CampaignDAG` and :class:`ShardedCampaign`: the CPU-bound
+  full-corpus grid partitioned into dataset-keyed shards, fanned out
+  over a process pool past the GIL, stitched back into serial-index
+  slots (bit-identical to serial), checkpointed atomically per shard
+  and resumable from the standard ResultStore checkpoint.
 
 Entry points: ``MLaaSStudy(workers=...)`` routes the study protocols
-through a scheduler, and the ``repro campaign`` CLI runs one from the
-command line.
+through a thread scheduler, ``MLaaSStudy(processes=...)`` through the
+process-sharded engine, and the ``repro campaign`` CLI runs either from
+the command line.
 """
 
 from repro.service.clock import VirtualClock, WallClock
+from repro.service.dag import CampaignDAG, JobStatus, ShardNode
 from repro.service.resilience import ResilientClient, RetryPolicy, is_transient
 from repro.service.scheduler import (
     CampaignJob,
     CampaignScheduler,
     build_campaign,
+)
+from repro.service.sharding import (
+    PlatformSpec,
+    ShardResult,
+    ShardTask,
+    ShardedCampaign,
+    merge_cache_stats,
+    run_shard,
+    stitch_results,
 )
 from repro.service.telemetry import (
     Counter,
@@ -38,17 +55,27 @@ from repro.service.telemetry import (
 )
 
 __all__ = [
+    "CampaignDAG",
     "CampaignJob",
     "CampaignScheduler",
     "Counter",
     "Histogram",
+    "JobStatus",
+    "PlatformSpec",
     "ResilientClient",
     "RetryPolicy",
+    "ShardNode",
+    "ShardResult",
+    "ShardTask",
+    "ShardedCampaign",
     "Telemetry",
     "VirtualClock",
     "WallClock",
     "build_campaign",
     "exact_quantile",
     "is_transient",
+    "merge_cache_stats",
     "percentile_summary",
+    "run_shard",
+    "stitch_results",
 ]

@@ -345,7 +345,11 @@ def _resume_index(resume_from, platform_names) -> dict:
 
 
 def _save_completed(slots, checkpoint_path) -> None:
-    """Checkpoint the completed slots, in serial order."""
+    """Checkpoint the completed slots, in serial order.
+
+    :meth:`ResultStore.save` writes via ``*.tmp`` + ``os.replace``, so a
+    worker killed mid-write can never leave a truncated checkpoint.
+    """
     ResultStore(
         result for result in slots if result is not None
     ).save(checkpoint_path)

@@ -114,3 +114,36 @@ def test_where_predicate():
     ])
     trees = store.where(lambda r: r.configuration.classifier == "DT")
     assert len(trees) == 1
+
+
+def test_save_is_atomic_and_leaves_no_tmp(tmp_path):
+    path = tmp_path / "results.json"
+    ResultStore([make_result()]).save(path)
+    assert not path.with_name(path.name + ".tmp").exists()
+    assert len(ResultStore.load(path)) == 1
+
+
+def test_interrupted_save_keeps_previous_checkpoint(tmp_path, monkeypatch):
+    """A writer killed mid-save must never tear an existing checkpoint."""
+    import repro.core.results as results_module
+
+    path = tmp_path / "checkpoint.json"
+    ResultStore([make_result(dataset="before")]).save(path)
+    good_bytes = path.read_bytes()
+
+    def crash(src, dst):
+        raise OSError("killed before the atomic rename")
+
+    # The kill window: the new payload is on disk only as *.tmp when the
+    # process dies; the destination must still hold the old checkpoint.
+    monkeypatch.setattr(results_module.os, "replace", crash)
+    with pytest.raises(OSError, match="atomic rename"):
+        ResultStore([make_result(dataset="after")] * 3).save(path)
+    monkeypatch.undo()
+
+    assert path.read_bytes() == good_bytes
+    recovered = ResultStore.load(path)
+    assert recovered.datasets() == ["before"]
+    # And a retry after the "restart" completes normally.
+    ResultStore([make_result(dataset="after")] * 3).save(path)
+    assert len(ResultStore.load(path)) == 3

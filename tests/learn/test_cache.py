@@ -122,3 +122,113 @@ class TestFitCache:
         plain = Pipeline(list(steps)).fit(X, y)
         assert np.array_equal(cached.predict(X), plain.predict(X))
         assert np.array_equal(cached.predict_proba(X), plain.predict_proba(X))
+
+
+def _shard_stats(n):
+    """Module-level worker: exercise a fresh cache in a child process."""
+    X, y = make_data(seed=n)
+    cache = FitCache()
+    cache.fit_transform(SelectKBest(k=3), X, y)
+    cache.fit_transform(SelectKBest(k=3), X.copy(), y.copy())
+    return cache.stats()
+
+
+class TestDigestMemo:
+    def test_memo_returns_uncached_digest(self):
+        from repro.learn.cache import (
+            _DIGEST_MEMO,
+            _DIGEST_MEMO_LOCK,
+            _uncached_digest,
+        )
+
+        X, _ = make_data(11)
+        with _DIGEST_MEMO_LOCK:
+            _DIGEST_MEMO.pop(id(X), None)
+        cold = array_digest(X)           # computes and memoizes
+        warm = array_digest(X)           # served from the memo
+        assert cold == warm == _uncached_digest(X)
+        with _DIGEST_MEMO_LOCK:
+            assert id(X) in _DIGEST_MEMO
+
+    def test_memo_distinguishes_live_arrays(self):
+        X, _ = make_data(12)
+        other = X + 1.0
+        assert array_digest(X) != array_digest(other)
+        # Repeated calls stay stable per object.
+        assert array_digest(X) == array_digest(X)
+        assert array_digest(other) == array_digest(other)
+
+    def test_fit_cache_keys_unchanged_by_memoization(self):
+        from repro.learn.cache import _DIGEST_MEMO, _DIGEST_MEMO_LOCK
+
+        X, y = make_data(13)
+        cache = FitCache()
+        estimator = SelectKBest(k=3)
+        warm_key = cache.key(estimator, X, y)
+        with _DIGEST_MEMO_LOCK:
+            _DIGEST_MEMO.clear()
+        assert cache.key(estimator, X, y) == warm_key
+
+    def test_dead_entries_are_purged_not_resurrected(self):
+        import gc
+
+        from repro.learn.cache import _DIGEST_MEMO, _DIGEST_MEMO_LOCK
+
+        X, _ = make_data(14)
+        key = id(X)
+        array_digest(X)
+        del X
+        gc.collect()
+        with _DIGEST_MEMO_LOCK:
+            entry = _DIGEST_MEMO.get(key)
+        # The weakref is dead: a recycled id can never alias this entry.
+        assert entry is None or entry[0]() is None
+
+
+class TestFitCacheAcrossProcesses:
+    def test_pickle_roundtrip_preserves_counts(self):
+        import pickle
+
+        X, y = make_data(20)
+        cache = FitCache()
+        cache.fit_transform(SelectKBest(k=3), X, y)
+        cache.fit_transform(SelectKBest(k=3), X.copy(), y.copy())
+        clone_cache = pickle.loads(pickle.dumps(cache))
+        assert clone_cache.stats() == cache.stats()
+        assert clone_cache.hits == 1 and clone_cache.misses == 1
+        # The lock is recreated, so the revived cache still works.
+        before = clone_cache.stats()["entries"]
+        clone_cache.fit_transform(SelectKBest(k=3), X, y)
+        assert clone_cache.hits == 2
+        assert clone_cache.stats()["entries"] == before
+
+    def test_cross_process_stats_merge(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            shard_stats = list(pool.map(_shard_stats, range(3)))
+        parent = FitCache()
+        for stats in shard_stats:
+            parent.merge_counts(stats)
+        assert parent.hits == 3
+        assert parent.misses == 3
+        assert len(parent) == 0   # entries never cross the boundary
+
+    def test_merge_counts_accepts_cache_or_mapping(self):
+        X, y = make_data(21)
+        donor = FitCache()
+        donor.fit_transform(SelectKBest(k=3), X, y)
+        donor.fit_transform(SelectKBest(k=3), X.copy(), y.copy())
+        target = FitCache()
+        target.merge_counts(donor)
+        target.merge_counts({"entries": 9, "hits": 4, "misses": 2})
+        assert target.stats() == {"entries": 0, "hits": 5, "misses": 3}
+
+    def test_clear_keeps_counters(self):
+        X, y = make_data(22)
+        cache = FitCache()
+        cache.fit_transform(SelectKBest(k=3), X, y)
+        cache.fit_transform(SelectKBest(k=3), X.copy(), y.copy())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 1, "misses": 1}

@@ -176,5 +176,20 @@ class TestPlatformFitCacheRouting:
                               feature_selection="filter_count")
         assert len(platform._fit_cache) == 1
         platform.delete_dataset(dataset_id)
-        assert len(platform._fit_cache) == 0
-        assert platform._fit_cache.misses == 0  # a fresh cache, not a wipe
+        assert len(platform._fit_cache) == 0    # entries are dropped...
+        assert platform._fit_cache.misses == 1  # ...counters span the run
+
+    def test_shared_cache_is_not_cleared_by_platform(self):
+        from repro.learn import FitCache
+
+        X, y = self._platform_data(7)
+        shared = FitCache()
+        platform = Microsoft(random_state=0, fit_cache=shared)
+        dataset_id = platform.upload_dataset(X, y)
+        platform.create_model(dataset_id, classifier="SVM",
+                              feature_selection="filter_count")
+        assert len(shared) == 1
+        platform.delete_dataset(dataset_id)
+        # An externally-owned cache (one campaign shard sharing it across
+        # platforms) must survive any one platform's dataset lifecycle.
+        assert len(shared) == 1

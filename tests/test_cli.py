@@ -84,3 +84,39 @@ def test_parser_requires_command():
 def test_parser_rejects_unknown_platform():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["boundary", "watson"])
+
+
+def test_campaign_processes_runs_and_matches_serial(tmp_path):
+    telemetry_path = tmp_path / "telemetry.json"
+    output = run_cli(
+        "campaign", "--processes", "2", "--datasets", "2",
+        "--size-cap", "100", "--compare-serial",
+        "--telemetry-out", str(telemetry_path),
+    )
+    assert "processes=2" in output
+    assert "IDENTICAL" in output
+    assert "shards" in output and "fit cache" in output
+    assert telemetry_path.exists()
+
+
+def test_campaign_processes_checkpoint_resume(tmp_path):
+    checkpoint = tmp_path / "campaign.json"
+    run_cli(
+        "campaign", "--processes", "2", "--datasets", "2",
+        "--size-cap", "100", "--checkpoint", str(checkpoint),
+    )
+    assert checkpoint.exists()
+    resumed = run_cli(
+        "campaign", "--processes", "2", "--datasets", "2",
+        "--size-cap", "100",
+        "--checkpoint", str(checkpoint), "--resume", str(checkpoint),
+    )
+    assert "resumed" in resumed
+
+
+def test_campaign_rejects_bad_backend_combinations():
+    assert main(["campaign", "--processes", "0", "--datasets", "2",
+                 "--size-cap", "100"], out=io.StringIO()) == 2
+    assert main(["campaign", "--workers", "2", "--processes", "2",
+                 "--datasets", "2", "--size-cap", "100"],
+                out=io.StringIO()) == 2
