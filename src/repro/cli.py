@@ -35,11 +35,18 @@ Gives downstream users the common study operations without writing code:
   (shape algebra, dtype stability, alias mutation, substrate access,
   array-contract conformance, boundary validation); see
   :mod:`repro.tools.shape`.
+* ``wire``      — static wire-contract, error-taxonomy &
+  resource-lifecycle analysis of the serving layer (route/client/spec
+  conformance, taxonomy round-trip, leaked resources, JSON safety,
+  blocking handlers, metrics drift); see :mod:`repro.tools.wire`.
+* ``check``     — run all six analyzers in one process over one shared
+  parse with a merged report and worst-exit-code semantics; see
+  :mod:`repro.tools.check`.
 
 The study commands accept ``--datasets`` / ``--size-cap`` to bound
-runtime.  The five analyzer subcommands share the exit-code taxonomy of
-:mod:`repro.tools.exitcodes`: 0 clean, 1 findings, 2 usage error,
-3 analyzer crash.
+runtime.  The six analyzer subcommands (and ``check``) share the
+exit-code taxonomy of :mod:`repro.tools.exitcodes`: 0 clean,
+1 findings, 2 usage error, 3 analyzer crash.
 """
 
 from __future__ import annotations
@@ -83,8 +90,12 @@ from repro.tools.perf.cli import configure_parser as _configure_perf_parser
 from repro.tools.perf.cli import run_perf_command
 from repro.tools.race.cli import configure_parser as _configure_race_parser
 from repro.tools.race.cli import run_race_command
+from repro.tools.check.cli import configure_parser as _configure_check_parser
+from repro.tools.check.cli import run_check_command
 from repro.tools.shape.cli import configure_parser as _configure_shape_parser
 from repro.tools.shape.cli import run_shape_command
+from repro.tools.wire.cli import configure_parser as _configure_wire_parser
+from repro.tools.wire.cli import run_wire_command
 
 __all__ = ["main", "build_parser"]
 
@@ -223,6 +234,17 @@ def build_parser() -> argparse.ArgumentParser:
         "shape", help="static array shape, dtype & aliasing analysis"
     )
     _configure_shape_parser(shape)
+
+    wire = sub.add_parser(
+        "wire", help="static wire-contract, error-taxonomy & "
+                     "resource-lifecycle analysis"
+    )
+    _configure_wire_parser(wire)
+
+    check = sub.add_parser(
+        "check", help="run all six static analyzers over one shared parse"
+    )
+    _configure_check_parser(check)
     return parser
 
 
@@ -383,9 +405,12 @@ def _cmd_serve(args, out) -> int:
         gateway, host=args.host, port=args.port,
         max_requests=args.max_requests,
     )
-    print(f"serving {', '.join(names)} at {server.url}", file=out,
-          flush=True)
+    # The banner writes to an arbitrary stream and can raise (closed
+    # pipe); it must not sit between the bind and the try/finally that
+    # owns the socket, or a failed write leaks the listening port.
     try:
+        print(f"serving {', '.join(names)} at {server.url}", file=out,
+              flush=True)
         server.serve_forever()
     except KeyboardInterrupt:
         pass
@@ -506,6 +531,10 @@ def main(argv=None, out=None) -> int:
         return run_guarded(run_perf_command, args, out=out)
     if args.command == "shape":
         return run_guarded(run_shape_command, args, out=out)
+    if args.command == "wire":
+        return run_guarded(run_wire_command, args, out=out)
+    if args.command == "check":
+        return run_guarded(run_check_command, args, out=out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -293,30 +293,36 @@ class CampaignScheduler:
         for thread in threads:
             thread.start()
 
-        order = list(pending)
-        cursor = 0
-        to_dispatch = remaining
-        while to_dispatch:
-            with completed_cv:
-                choice = self._pick(order, cursor, pending, in_flight,
-                                    self.per_platform_cap)
-                while choice is None and not errors:
-                    completed_cv.wait()
+        # The sentinel/join shutdown must run even when dispatch raises
+        # (a KeyboardInterrupt in the pick loop, a checkpoint I/O error
+        # propagating through the condition wait): otherwise the worker
+        # threads block on the queue forever and the process leaks them.
+        try:
+            order = list(pending)
+            cursor = 0
+            to_dispatch = remaining
+            while to_dispatch:
+                with completed_cv:
                     choice = self._pick(order, cursor, pending, in_flight,
                                         self.per_platform_cap)
-                if errors:
-                    break
-                name = order[choice]
-                job = pending[name].popleft()
-                in_flight[name] += 1
-                cursor = (choice + 1) % len(order)
-            tasks.put(job)  # blocks when the bounded queue is full
-            to_dispatch -= 1
-
-        for _ in threads:
-            tasks.put(None)
-        for thread in threads:
-            thread.join()
+                    while choice is None and not errors:
+                        completed_cv.wait()
+                        choice = self._pick(order, cursor, pending,
+                                            in_flight,
+                                            self.per_platform_cap)
+                    if errors:
+                        break
+                    name = order[choice]
+                    job = pending[name].popleft()
+                    in_flight[name] += 1
+                    cursor = (choice + 1) % len(order)
+                tasks.put(job)  # blocks when the bounded queue is full
+                to_dispatch -= 1
+        finally:
+            for _ in threads:
+                tasks.put(None)
+            for thread in threads:
+                thread.join()
         if errors:
             raise errors[0]
 

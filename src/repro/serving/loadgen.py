@@ -256,7 +256,15 @@ def run_load(client_factory, config: LoadgenConfig,
             if parallel and plan.start_offset > 0.0:
                 clock.sleep(plan.start_offset)
             client = client_factory(plan.client_id)
-            _run_session(client, plan, config, clock, recorder)
+            try:
+                _run_session(client, plan, config, clock, recorder)
+            finally:
+                # HTTP clients hold a live connection per session; a
+                # factory may also hand out connectionless fakes, so
+                # close only what supports it.
+                close = getattr(client, "close", None)
+                if callable(close):
+                    close()
         except Exception as exc:  # re-raised by the caller below
             with errors_lock:
                 errors.append(exc)

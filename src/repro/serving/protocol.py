@@ -29,6 +29,7 @@ import numpy as np
 from repro.exceptions import (
     DeadlineExceededError,
     JobFailedError,
+    NotFittedError,
     PayloadTooLargeError,
     PlatformError,
     QuotaExceededError,
@@ -63,6 +64,7 @@ ERROR_STATUS = {
     "UnsupportedControlError": 400,
     "ResourceNotFoundError": 404,
     "JobFailedError": 409,
+    "NotFittedError": 409,
     "PayloadTooLargeError": 413,
     "QuotaExceededError": 429,
     "DeadlineExceededError": 504,
@@ -76,6 +78,7 @@ KIND_TO_ERROR = {
     "UnsupportedControlError": UnsupportedControlError,
     "ResourceNotFoundError": ResourceNotFoundError,
     "JobFailedError": JobFailedError,
+    "NotFittedError": NotFittedError,
     "PayloadTooLargeError": PayloadTooLargeError,
     "QuotaExceededError": QuotaExceededError,
     "DeadlineExceededError": DeadlineExceededError,

@@ -1,0 +1,35 @@
+"""``repro check`` — the whole static-analysis suite in one process.
+
+CI used to drive the six analyzers (lint, flow, race, perf, shape,
+wire) as six processes, which meant six parses of the same tree.  The
+:mod:`repro.tools.indexing` facade already memoizes the parse and the
+flow index per process; this package is the front end that cashes that
+in: one ``repro check`` run loads the shared index once, runs every
+analyzer over it (the lint pass included — it replays the engine's
+per-module loop over the shared project), merges the reports, and
+exits with the worst code across the suite on the shared 0/1/2/3
+taxonomy.  A crashing analyzer is captured on the report as exit 3
+without silencing the findings of the others.
+
+Importable API::
+
+    from repro.tools.check import run_check
+    report = run_check(["src/repro"])
+    assert report.exit_code == 0, report.results
+
+Command line::
+
+    repro check [PATHS...] [--format text|json] [--tools lint,wire]
+    repro check --format json --artifacts-dir reports src/repro
+    python -m repro.tools.check
+"""
+
+from __future__ import annotations
+
+from repro.tools.check.runner import CheckReport, TOOL_NAMES, run_check
+
+__all__ = [
+    "CheckReport",
+    "TOOL_NAMES",
+    "run_check",
+]

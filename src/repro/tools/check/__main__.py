@@ -1,0 +1,6 @@
+"""``python -m repro.tools.check`` — run the whole analyzer suite."""
+
+from repro.tools.check.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

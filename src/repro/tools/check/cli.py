@@ -1,0 +1,172 @@
+"""Command-line front end: ``repro check`` / ``python -m repro.tools.check``.
+
+One invocation, six analyzers, one parse.  The merged report nests
+each tool's familiar payload under its name, and the exit code is the
+worst across the suite on the shared 0/1/2/3 taxonomy (a crashed tool
+contributes 3 without silencing the others).  ``--artifacts-dir``
+additionally writes the per-tool JSON reports CI used to produce with
+six separate steps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.tools.exitcodes import EXIT_CRASH, EXIT_USAGE, run_guarded
+from repro.tools.lint.reporters import REPORTERS, render_json, render_text
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "build_parser",
+    "configure_parser",
+    "main",
+    "run_check_command",
+]
+
+#: Default analysis target: the package's own source tree.
+DEFAULT_TARGET = Path(__file__).resolve().parents[2]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the check arguments to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include justified suppressions in the report",
+    )
+    parser.add_argument(
+        "--tools", metavar="NAMES",
+        help="comma-separated subset of analyzers to run "
+             "(default: lint,flow,race,perf,shape,wire)",
+    )
+    parser.add_argument(
+        "--artifacts-dir", type=Path, metavar="DIR",
+        help="also write per-tool JSON reports (<tool>-report.json) "
+             "into DIR",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the standalone parser for ``python -m repro.tools.check``."""
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="run all six static analyzers over one shared "
+                    "parse with a merged report and worst-exit-code "
+                    "semantics",
+    )
+    return configure_parser(parser)
+
+
+def _tool_payload(report, name, show_suppressed: bool) -> dict:
+    if name in report.crashes:
+        return {
+            "error": report.crashes[name],
+            "summary": {"exit_code": EXIT_CRASH},
+        }
+    return json.loads(render_json(report.results[name],
+                                  show_suppressed=show_suppressed))
+
+
+def _merged_json(report, show_suppressed: bool) -> str:
+    tools = {
+        name: _tool_payload(report, name, show_suppressed)
+        for name in (*report.results, *report.crashes)
+    }
+    payload = {
+        "tools": tools,
+        "summary": {
+            "files": report.n_files,
+            "violations": sum(len(r.unsuppressed)
+                              for r in report.results.values()),
+            "suppressed": sum(len(r.suppressed)
+                              for r in report.results.values()),
+            "crashed": sorted(report.crashes),
+            "exit_code": report.exit_code,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _merged_text(report, show_suppressed: bool) -> str:
+    sections = []
+    for name, result in report.results.items():
+        sections.append(f"== repro {name} ==")
+        sections.append(render_text(result,
+                                    show_suppressed=show_suppressed))
+    for name in report.crashes:
+        sections.append(f"== repro {name} ==")
+        sections.append(f"CRASHED:\n{report.crashes[name]}")
+    total = sum(len(r.unsuppressed) for r in report.results.values())
+    suppressed = sum(len(r.suppressed) for r in report.results.values())
+    crashed = f", {len(report.crashes)} tool(s) crashed" \
+        if report.crashes else ""
+    sections.append(
+        f"check: {total} violation{'s' if total != 1 else ''} "
+        f"({suppressed} suppressed) in {report.n_files} "
+        f"file{'s' if report.n_files != 1 else ''} across "
+        f"{len(report.results)} analyzer(s){crashed}"
+    )
+    return "\n".join(sections)
+
+
+def _write_artifacts(report, directory: Path, show_suppressed: bool,
+                     out) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    for name in (*report.results, *report.crashes):
+        path = directory / f"{name}-report.json"
+        payload = _tool_payload(report, name, show_suppressed)
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}", file=out)
+
+
+def run_check_command(args: argparse.Namespace, out=None) -> int:
+    """Execute a parsed check invocation; returns the exit code."""
+    out = out or sys.stdout
+    paths = args.paths or [DEFAULT_TARGET]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    from repro.tools.check.runner import TOOL_NAMES, run_check
+
+    tools = None
+    if args.tools:
+        tools = [name.strip() for name in args.tools.split(",")
+                 if name.strip()]
+        unknown = sorted(set(tools) - set(TOOL_NAMES))
+        if unknown:
+            print(f"error: unknown analyzer(s): {', '.join(unknown)} "
+                  f"(choose from {', '.join(TOOL_NAMES)})",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
+    report = run_check(paths, root=Path.cwd(), tools=tools)
+    if report.n_files == 0:
+        print("error: no python files found under the given paths",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.artifacts_dir is not None:
+        _write_artifacts(report, args.artifacts_dir,
+                         args.show_suppressed, out)
+    renderer = _merged_json if args.format == "json" else _merged_text
+    print(renderer(report, args.show_suppressed), file=out)
+    return report.exit_code
+
+
+def main(argv=None, out=None) -> int:
+    """Entry point for ``python -m repro.tools.check``."""
+    args = build_parser().parse_args(argv)
+    return run_guarded(run_check_command, args, out=out)

@@ -1,0 +1,135 @@
+"""Driver for one ``repro check`` run: all six analyzers, one parse.
+
+``repro check`` exists so CI (and a developer's pre-push loop) pays
+for the project parse and the flow index exactly once: every analyzer
+goes through the memoized :mod:`repro.tools.indexing` facade, so the
+lint pass below and the five cross-module runners all see the same
+cached :class:`~repro.tools.indexing.IndexedProject`, and the perf,
+shape and wire models are each built once on that shared entry.
+
+A tool that crashes is isolated: its traceback is captured on the
+report (and mapped to exit 3 in the merged exit code) while the other
+tools still run, so one analyzer bug never hides another analyzer's
+findings.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import repro.tools.lint.rules  # noqa: F401  (fills RULE_REGISTRY)
+from repro.tools.exitcodes import EXIT_CRASH
+from repro.tools.flow.runner import detect_context_paths, run_flow
+from repro.tools.indexing import load_indexed_project
+from repro.tools.lint.engine import (
+    ENGINE_CODE,
+    RULE_REGISTRY,
+    LintResult,
+    Violation,
+    apply_suppressions,
+    suppression_violations,
+)
+from repro.tools.perf.runner import run_perf
+from repro.tools.race.runner import run_race
+from repro.tools.shape.runner import run_shape
+from repro.tools.wire.runner import run_wire
+
+__all__ = [
+    "CheckReport",
+    "TOOL_NAMES",
+    "run_check",
+]
+
+#: The six analyzers, in suite order (lint first: its R-codes anchor
+#: the suppression vocabulary the others extend).
+TOOL_NAMES = ("lint", "flow", "race", "perf", "shape", "wire")
+
+
+@dataclass
+class CheckReport:
+    """Per-tool results of one ``repro check`` run."""
+
+    #: tool name -> :class:`LintResult`, in :data:`TOOL_NAMES` order.
+    results: dict = field(default_factory=dict)
+    #: tool name -> formatted traceback for tools that crashed.
+    crashes: dict = field(default_factory=dict)
+    n_files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """Worst exit code across the tools (a crash dominates)."""
+        code = 0
+        for result in self.results.values():
+            code = max(code, result.exit_code)
+        if self.crashes:
+            code = max(code, EXIT_CRASH)
+        return code
+
+
+def _run_lint_shared(loaded) -> LintResult:
+    """The lint pass over the already-parsed shared project.
+
+    Replicates :func:`repro.tools.lint.engine.run_lint` verbatim —
+    same rules, same known codes, same suppression handling — but over
+    the memoized :class:`IndexedProject` instead of a private parse,
+    which is the whole point of ``repro check``.
+    """
+    rules = [cls() for _, cls in sorted(RULE_REGISTRY.items())]
+    known_codes = {rule.code for rule in rules} | {ENGINE_CODE}
+    project = loaded.project
+    violations: list[Violation] = list(loaded.parse_violations)
+    for module in project.modules:
+        violations.extend(suppression_violations(module, known_codes))
+        for rule in rules:
+            violations.extend(rule.check_module(module, project))
+    for rule in rules:
+        violations.extend(rule.check_project(project))
+    modules_by_path = {m.relpath: m for m in project.modules}
+    violations = apply_suppressions(violations, modules_by_path)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return LintResult(violations=violations, n_files=loaded.n_files)
+
+
+def run_check(
+    paths: Sequence,
+    root: Path | None = None,
+    context_paths: Sequence | None = None,
+    tools: Sequence | None = None,
+) -> CheckReport:
+    """Run every analyzer over ``paths`` sharing one parsed index.
+
+    ``tools`` restricts the run to a subset of :data:`TOOL_NAMES`
+    (order is normalized to suite order).  The shared index is loaded
+    first, so even the first tool's run is a cache hit.
+    """
+    if context_paths is None:
+        context_paths = detect_context_paths(paths)
+    selected = TOOL_NAMES if tools is None else tuple(
+        name for name in TOOL_NAMES if name in set(tools)
+    )
+    loaded = load_indexed_project(paths, root=root,
+                                  context_paths=context_paths)
+
+    runners = {
+        "lint": lambda: _run_lint_shared(loaded),
+        "flow": lambda: run_flow(paths, root=root,
+                                 context_paths=context_paths),
+        "race": lambda: run_race(paths, root=root,
+                                 context_paths=context_paths),
+        "perf": lambda: run_perf(paths, root=root,
+                                 context_paths=context_paths),
+        "shape": lambda: run_shape(paths, root=root,
+                                   context_paths=context_paths),
+        "wire": lambda: run_wire(paths, root=root,
+                                 context_paths=context_paths),
+    }
+    report = CheckReport(n_files=loaded.n_files)
+    for name in selected:
+        try:
+            report.results[name] = runners[name]()
+        except Exception:
+            report.crashes[name] = traceback.format_exc()
+    return report

@@ -64,8 +64,9 @@ LAYERS = (
         name="interface",
         packages=("repro", "repro.cli", "repro.tools",
                   "benchmarks", "examples", "tests"),
-        description="CLI, static-analysis tools (lint/flow/race + shared "
-                    "indexing), facade, benches, examples",
+        description="CLI, static-analysis tools (lint/flow/race/perf/"
+                    "shape/wire + shared indexing + the combined check "
+                    "driver), facade, benches, examples",
     ),
 )
 

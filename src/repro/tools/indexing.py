@@ -1,7 +1,7 @@
 """Shared, cached project loading for the static-analysis tools.
 
-``repro lint``, ``repro flow``, ``repro race``, ``repro perf``, and
-``repro shape`` all
+``repro lint``, ``repro flow``, ``repro race``, ``repro perf``,
+``repro shape``, and ``repro wire`` all
 start the same way: discover the Python files, parse each one exactly
 once, and (for the cross-module analyzers) build the shared
 :class:`~repro.tools.flow.graph.FlowIndex` of symbols, imports, and
@@ -57,6 +57,7 @@ class IndexedProject:
     n_files: int = 0
     _loop_model: object = None
     _shape_model: object = None
+    _wire_model: object = None
 
     @property
     def context_modules(self) -> list:
@@ -90,6 +91,23 @@ class IndexedProject:
 
             self._shape_model = build_shape_model(self.index)
         return self._shape_model
+
+    def wire_model(self):
+        """The wire analyzer's contract model, built lazily and memoized.
+
+        Lives on the cached entry so repeated ``repro wire`` runs over
+        an unchanged tree share the model the way all tools share the
+        parse.  The import is deferred: only wire runs pay for it, and
+        the wire package can import this facade without a cycle.  The
+        wire model consumes :meth:`shape_model` for W504's dtype facts,
+        so one wire run warms both.
+        """
+        if self._wire_model is None:
+            from repro.tools.wire.wiremodel import build_wire_model
+
+            self._wire_model = build_wire_model(self.index,
+                                                self.shape_model())
+        return self._wire_model
 
 
 def _stat_entries(paths: Sequence) -> tuple:

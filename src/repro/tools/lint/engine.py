@@ -56,15 +56,16 @@ ENGINE_CODE = "R000"
 
 #: Codes owned by companion analyzers sharing the ``# repro: disable=``
 #: comment syntax in the same source tree.  ``repro lint`` must not report
-#: a justified ``repro flow``, ``repro race``, ``repro perf``, or
-#: ``repro shape`` suppression as an unknown code (and vice versa: the
-#: flow, race, perf, and shape runners include the R-codes in their
-#: known sets).
+#: a justified ``repro flow``, ``repro race``, ``repro perf``,
+#: ``repro shape``, or ``repro wire`` suppression as an unknown code (and
+#: vice versa: the flow, race, perf, shape, and wire runners include the
+#: R-codes in their known sets).
 COMPANION_CODES = frozenset({
     "F101", "F102", "F103", "F104", "F105",
     "C201", "C202", "C203", "C204", "C205", "C206",
     "P301", "P302", "P303", "P304", "P305", "P306",
     "S401", "S402", "S403", "S404", "S405", "S406",
+    "W501", "W502", "W503", "W504", "W505", "W506",
 })
 
 _SUPPRESSION_RE = re.compile(

@@ -1,0 +1,125 @@
+"""Command-line front end: ``repro wire`` / ``python -m repro.tools.wire``.
+
+Exit codes follow the shared taxonomy of :mod:`repro.tools.exitcodes`:
+
+* ``0`` — clean (suppressed findings allowed, or ``--update-spec`` ran);
+* ``1`` — at least one unsuppressed violation;
+* ``2`` — usage error (nonexistent path, no files found);
+* ``3`` — the analyzer itself crashed (traceback on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.tools.exitcodes import EXIT_USAGE, run_guarded
+from repro.tools.lint.reporters import REPORTERS
+from repro.tools.wire.rules import default_wire_rules
+from repro.tools.wire.spec import DEFAULT_SPEC_PATH
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "build_parser",
+    "configure_parser",
+    "main",
+    "run_wire_command",
+]
+
+#: Default analysis target: the package's own source tree.
+DEFAULT_TARGET = Path(__file__).resolve().parents[2]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the wire arguments to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include justified suppressions in the report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the wire rule codes and exit",
+    )
+    parser.add_argument(
+        "--spec", type=Path, metavar="PATH", default=DEFAULT_SPEC_PATH,
+        help="wire spec to check against (default: the checked-in "
+             "wire_spec.py)",
+    )
+    parser.add_argument(
+        "--update-spec", action="store_true",
+        help="rewrite the wire spec from the analyzed tree instead of "
+             "checking against it",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the standalone parser for ``python -m repro.tools.wire``."""
+    parser = argparse.ArgumentParser(
+        prog="repro wire",
+        description="static wire-contract, error-taxonomy & "
+                    "resource-lifecycle analyzer for the MLaaS "
+                    "reproduction",
+    )
+    return configure_parser(parser)
+
+
+def _print_rules(out) -> int:
+    for rule in default_wire_rules():
+        print(f"{rule.code}  {rule.name:<22} {rule.description}", file=out)
+    return 0
+
+
+def run_wire_command(args: argparse.Namespace, out=None) -> int:
+    """Execute a parsed wire invocation; returns the exit code."""
+    out = out or sys.stdout
+    if args.list_rules:
+        return _print_rules(out)
+    paths = args.paths or [DEFAULT_TARGET]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    from repro.tools.wire.runner import run_wire
+
+    if args.update_spec:
+        from repro.tools.indexing import load_indexed_project
+        from repro.tools.wire.spec import derive_wire_spec, write_spec
+
+        loaded = load_indexed_project(paths, root=Path.cwd())
+        if loaded.n_files == 0:
+            print("error: no python files found under the given paths",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        spec = derive_wire_spec(loaded.wire_model())
+        write_spec(spec, args.spec)
+        print(f"wrote derived wire contract ({len(spec['routes'])} "
+              f"route(s), {len(spec['client'])} client method(s), "
+              f"{len(spec['errors'])} error kind(s)) to {args.spec}",
+              file=out)
+        return 0
+
+    result = run_wire(paths, root=Path.cwd(), spec_path=args.spec)
+    if result.n_files == 0:
+        print("error: no python files found under the given paths",
+              file=sys.stderr)
+        return EXIT_USAGE
+    reporter = REPORTERS[args.format]
+    print(reporter(result, show_suppressed=args.show_suppressed), file=out)
+    return result.exit_code
+
+
+def main(argv=None, out=None) -> int:
+    """Entry point for ``python -m repro.tools.wire``."""
+    args = build_parser().parse_args(argv)
+    return run_guarded(run_wire_command, args, out=out)

@@ -1,0 +1,85 @@
+"""Driver for one ``repro wire`` run.
+
+Mirrors the shape runner end to end: files are parsed once through the
+memoized :mod:`repro.tools.indexing` facade (so lint/flow/race/perf/
+shape runs in the same process share the parse and the flow index),
+the wire model is built once — and memoized on the shared index entry,
+so repeated wire runs share it too — injected into every W-rule, and
+the findings flow through the lint engine's suppression and reporting
+machinery unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+# Importing the lint rules fills RULE_REGISTRY, so wire runs recognize
+# R-code suppressions as known companion codes.
+import repro.tools.lint.rules  # noqa: F401  (registration side effect)
+from repro.tools.flow.runner import detect_context_paths
+from repro.tools.indexing import load_indexed_project
+from repro.tools.lint.engine import (
+    COMPANION_CODES,
+    ENGINE_CODE,
+    RULE_REGISTRY,
+    LintResult,
+    Violation,
+    apply_suppressions,
+    suppression_violations,
+)
+from repro.tools.wire.rules import default_wire_rules
+
+__all__ = [
+    "run_wire",
+]
+
+
+def run_wire(
+    paths: Sequence,
+    rules: Sequence | None = None,
+    root: Path | None = None,
+    context_paths: Sequence | None = None,
+    spec_path: Path | None = None,
+) -> LintResult:
+    """Run the W-rules over ``paths``; mirrors ``run_shape``'s contract.
+
+    ``rules=None`` runs every W-rule; pass a subset (bound to a wire
+    model or not — unbound rules get the shared one injected) to focus
+    a run.  ``spec_path`` points the spec rules (W501/W502/W506) at an
+    alternate checked-in spec (the fixture tests use this; the default
+    is the real one).
+    """
+    if context_paths is None:
+        context_paths = detect_context_paths(paths)
+    loaded = load_indexed_project(paths, root=root,
+                                  context_paths=context_paths)
+    project = loaded.project
+    violations: list[Violation] = list(loaded.parse_violations)
+    model = loaded.wire_model()
+
+    if rules is None:
+        rules = default_wire_rules(model, spec_path=spec_path)
+    for rule in rules:
+        if getattr(rule, "model", None) is None:
+            rule.model = model
+        if spec_path is not None and hasattr(rule, "spec_path"):
+            rule.spec_path = spec_path
+
+    known_codes = (
+        {rule.code for rule in rules}
+        | set(RULE_REGISTRY)
+        | set(COMPANION_CODES)
+        | {ENGINE_CODE}
+    )
+    for module in project.modules:
+        violations.extend(suppression_violations(module, known_codes))
+        for rule in rules:
+            violations.extend(rule.check_module(module, project))
+    for rule in rules:
+        violations.extend(rule.check_project(project))
+
+    modules_by_path = {m.relpath: m for m in project.modules}
+    violations = apply_suppressions(violations, modules_by_path)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return LintResult(violations=violations, n_files=loaded.n_files)

@@ -158,6 +158,32 @@ def test_campaign_worker_exceptions_propagate(corpus):
         )
 
 
+def test_dispatch_crash_still_joins_every_worker(corpus, monkeypatch):
+    # Regression: a failure in the dispatch loop itself (not in a
+    # worker) must still send the queue sentinels and join the worker
+    # threads, or each crashed campaign leaks its whole pool.
+    import threading
+
+    def exploding_pick(order, cursor, pending, in_flight, cap):
+        raise RuntimeError("boom: dispatcher failure")
+
+    monkeypatch.setattr(CampaignScheduler, "_pick",
+                        staticmethod(exploding_pick))
+    scheduler = CampaignScheduler(workers=3, seed=0)
+    platform = Amazon(random_state=0)
+    with pytest.raises(RuntimeError, match="boom: dispatcher"):
+        scheduler.run(
+            ExperimentRunner(split_seed=7), [platform], corpus,
+            {"amazon": [baseline_configuration(platform)]},
+        )
+    leftovers = [t for t in threading.enumerate()
+                 if t.name.startswith("campaign-worker")]
+    for thread in leftovers:
+        thread.join(timeout=5)
+    assert not any(t.is_alive() for t in leftovers), \
+        "campaign worker thread(s) leaked after a dispatcher crash"
+
+
 def test_scheduler_validates_parameters():
     with pytest.raises(ValidationError):
         CampaignScheduler(workers=0)

@@ -6,6 +6,7 @@ import pytest
 from repro.exceptions import (
     DeadlineExceededError,
     JobFailedError,
+    NotFittedError,
     PayloadTooLargeError,
     PlatformError,
     QuotaExceededError,
@@ -64,6 +65,9 @@ def test_malformed_json_bodies_raise_validation_error(raw):
     (UnsupportedControlError("x"), 400),
     (ResourceNotFoundError("x"), 404),
     (JobFailedError("x"), 409),
+    # Regression: predict-before-fit surfaced as a bare 500 until the
+    # kind earned its own wire mapping (found by `repro wire`, W502).
+    (NotFittedError("x"), 409),
     (PayloadTooLargeError("x"), 413),
     (QuotaExceededError("x"), 429),
     (DeadlineExceededError("x"), 504),

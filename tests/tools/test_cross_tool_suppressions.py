@@ -1,10 +1,10 @@
-"""Cross-tool suppression round-trip: one comment syntax, five analyzers.
+"""Cross-tool suppression round-trip: one comment syntax, six analyzers.
 
-``repro lint``, ``repro flow``, ``repro race``, ``repro perf``, and
-``repro shape`` share the ``# repro: disable=CODE -- reason`` syntax in
-one source tree, so each tool must treat the other tools' codes as
-*known* (no R000 unknown-code finding) while still reporting a genuinely
-unknown code.
+``repro lint``, ``repro flow``, ``repro race``, ``repro perf``,
+``repro shape``, and ``repro wire`` share the ``# repro: disable=CODE
+-- reason`` syntax in one source tree, so each tool must treat the
+other tools' codes as *known* (no R000 unknown-code finding) while
+still reporting a genuinely unknown code.
 """
 
 from repro.tools.flow import flow_paths
@@ -12,6 +12,7 @@ from repro.tools.lint import lint_paths
 from repro.tools.perf import perf_paths
 from repro.tools.race import race_paths
 from repro.tools.shape import shape_paths
+from repro.tools.wire import wire_paths
 
 
 def write_tree(tmp_path, body):
@@ -24,7 +25,7 @@ def r000_messages(result):
 
 
 SOURCE_WITH_COMPANION_SUPPRESSIONS = '''\
-"""Module carrying suppressions owned by all five analyzers."""
+"""Module carrying suppressions owned by all six analyzers."""
 
 __all__ = ["work"]
 
@@ -35,6 +36,7 @@ def work(items):
         total += item  # repro: disable=C202 -- race-owned code, documented
     # repro: disable=P301 -- perf-owned code, documented
     # repro: disable=S403 -- shape-owned code, documented
+    # repro: disable=W503 -- wire-owned code, documented
     return total
 '''
 
@@ -69,7 +71,13 @@ def test_shape_accepts_lint_flow_race_and_perf_codes(tmp_path):
     assert r000_messages(result) == []
 
 
-def test_all_five_tools_reject_a_truly_unknown_code(tmp_path):
+def test_wire_accepts_the_other_five_tools_codes(tmp_path):
+    tree = write_tree(tmp_path, SOURCE_WITH_COMPANION_SUPPRESSIONS)
+    result = wire_paths([tree], root=tree, context_paths=())
+    assert r000_messages(result) == []
+
+
+def test_all_six_tools_reject_a_truly_unknown_code(tmp_path):
     tree = write_tree(tmp_path, (
         '"""Module with a bogus suppression code."""\n\n'
         '__all__ = []\n\n'
@@ -81,6 +89,7 @@ def test_all_five_tools_reject_a_truly_unknown_code(tmp_path):
         (race_paths, {"context_paths": ()}),
         (perf_paths, {"context_paths": ()}),
         (shape_paths, {"context_paths": ()}),
+        (wire_paths, {"context_paths": ()}),
     ):
         result = runner([tree], root=tree, **kwargs)
         messages = r000_messages(result)

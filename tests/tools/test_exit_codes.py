@@ -1,10 +1,10 @@
-"""The shared exit-code taxonomy, enforced across all five analyzers.
+"""The shared exit-code taxonomy, enforced across all six analyzers.
 
-Every CLI — ``repro lint``/``flow``/``race``/``perf``/``shape`` — must
-agree on what its exit code means: 0 clean, 1 findings, 2 usage error,
-3 the analyzer itself crashed.  CI and the pre-commit hook branch on
-these, so they are part of the tools' contract, not an implementation
-detail.
+Every CLI — ``repro lint``/``flow``/``race``/``perf``/``shape``/
+``wire`` plus the combined ``repro check`` driver — must agree on what
+its exit code means: 0 clean, 1 findings, 2 usage error, 3 the
+analyzer itself crashed.  CI and the pre-commit hook branch on these,
+so they are part of the tools' contract, not an implementation detail.
 """
 
 import io
@@ -13,11 +13,13 @@ from pathlib import Path
 import pytest
 
 import repro.cli
+import repro.tools.check.cli as check_cli
 import repro.tools.flow.cli as flow_cli
 import repro.tools.lint.cli as lint_cli
 import repro.tools.perf.cli as perf_cli
 import repro.tools.race.cli as race_cli
 import repro.tools.shape.cli as shape_cli
+import repro.tools.wire.cli as wire_cli
 from repro.tools.exitcodes import (
     EXIT_CLEAN,
     EXIT_CRASH,
@@ -34,6 +36,12 @@ CLIS = [
     pytest.param(race_cli, "run_race_command", id="race"),
     pytest.param(perf_cli, "run_perf_command", id="perf"),
     pytest.param(shape_cli, "run_shape_command", id="shape"),
+    pytest.param(wire_cli, "run_wire_command", id="wire"),
+]
+
+#: ``repro check`` shares the taxonomy but has no ``--list-rules``.
+ALL_CLIS = CLIS + [
+    pytest.param(check_cli, "run_check_command", id="check"),
 ]
 
 
@@ -41,7 +49,7 @@ def test_the_taxonomy_constants():
     assert (EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, EXIT_CRASH) == (0, 1, 2, 3)
 
 
-@pytest.mark.parametrize("cli,command_name", CLIS)
+@pytest.mark.parametrize("cli,command_name", ALL_CLIS)
 def test_nonexistent_path_is_usage_error_everywhere(cli, command_name):
     code = cli.main(["definitely/not/a/path"], out=io.StringIO())
     assert code == EXIT_USAGE
@@ -53,7 +61,7 @@ def test_list_rules_is_clean_everywhere(cli, command_name):
     assert code == EXIT_CLEAN
 
 
-@pytest.mark.parametrize("cli,command_name", CLIS)
+@pytest.mark.parametrize("cli,command_name", ALL_CLIS)
 def test_analyzer_crash_is_exit_3_everywhere(cli, command_name,
                                              monkeypatch, capsys):
     def boom(args, out=None):
@@ -68,7 +76,7 @@ def test_analyzer_crash_is_exit_3_everywhere(cli, command_name,
 
 
 @pytest.mark.parametrize("subcommand", ["lint", "flow", "race", "perf",
-                                        "shape"])
+                                        "shape", "wire", "check"])
 def test_repro_cli_propagates_usage_errors(subcommand):
     code = repro.cli.main(
         [subcommand, "definitely/not/a/path"], out=io.StringIO())
@@ -84,6 +92,20 @@ def test_findings_exit_one_through_the_shape_cli():
     fixtures = FIXTURES.parent / "shape_fixtures"
     code = shape_cli.main(
         [str(fixtures / "s401_shape")], out=io.StringIO())
+    assert code == EXIT_FINDINGS
+
+
+def test_findings_exit_one_through_the_wire_cli():
+    fixtures = FIXTURES.parent / "wire_fixtures"
+    code = wire_cli.main(
+        [str(fixtures / "w503_lifecycle")], out=io.StringIO())
+    assert code == EXIT_FINDINGS
+
+
+def test_findings_exit_one_through_the_check_cli():
+    fixtures = FIXTURES.parent / "wire_fixtures"
+    code = check_cli.main(
+        [str(fixtures / "w503_lifecycle")], out=io.StringIO())
     assert code == EXIT_FINDINGS
 
 

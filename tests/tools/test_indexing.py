@@ -74,11 +74,12 @@ def test_different_context_paths_are_distinct_entries(tmp_path):
     assert index_cache_info()["misses"] == 2
 
 
-def test_flow_race_perf_and_shape_share_one_parse_of_the_real_tree():
+def test_all_six_analyzers_share_one_parse_of_the_real_tree():
     from repro.tools.flow import flow_paths
     from repro.tools.perf import perf_paths
     from repro.tools.race import race_paths
     from repro.tools.shape import shape_paths
+    from repro.tools.wire import wire_paths
 
     flow_paths([SOURCE_ROOT])
     after_flow = index_cache_info()
@@ -94,6 +95,10 @@ def test_flow_race_perf_and_shape_share_one_parse_of_the_real_tree():
     after_shape = index_cache_info()
     assert after_shape["misses"] == after_flow["misses"]  # still one parse
     assert after_shape["hits"] > after_perf["hits"]
+    wire_paths([SOURCE_ROOT])
+    after_wire = index_cache_info()
+    assert after_wire["misses"] == after_flow["misses"]  # still one parse
+    assert after_wire["hits"] > after_shape["hits"]
 
 
 def test_perf_memoizes_its_loop_model_on_the_shared_entry():
@@ -116,6 +121,33 @@ def test_shape_memoizes_its_shape_model_on_the_shared_entry():
     assert loaded.shape_model().functions  # and actually populated
     # Loop and shape models coexist on one entry without eviction.
     assert loaded.loop_model() is loaded.loop_model()
+
+
+def test_wire_memoizes_its_wire_model_on_the_shared_entry():
+    from repro.tools.wire import wire_paths
+
+    wire_paths([SOURCE_ROOT])
+    loaded = load_indexed_project([SOURCE_ROOT])
+    model = loaded.wire_model()
+    assert model is loaded.wire_model()  # built once per cache entry
+    assert model.gateways and model.clients  # and actually populated
+    # The wire model consumes the shape model, so one wire run warms
+    # both on the same entry.
+    assert loaded.shape_model() is loaded.shape_model()
+    assert model.shape_model is loaded.shape_model()
+
+
+def test_check_runs_the_whole_suite_on_one_parse():
+    from repro.tools.check import run_check
+
+    report = run_check([SOURCE_ROOT])
+    assert tuple(report.results) == (
+        "lint", "flow", "race", "perf", "shape", "wire",
+    )
+    assert not report.crashes
+    info = index_cache_info()
+    assert info["misses"] == 1  # six analyzers, one parse
+    assert info["hits"] >= 5
 
 
 def test_callers_must_copy_parse_violations(tmp_path):

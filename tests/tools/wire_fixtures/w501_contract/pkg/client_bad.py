@@ -1,0 +1,14 @@
+"""A client that drifts from the server: dead path, extra key, bad read."""
+
+
+class LooseClient:
+    def _request(self, method, path, payload=None):
+        return {}
+
+    def missing(self):
+        result = self._request("GET", "/nope")
+        return result.get("status")
+
+    def loose_predict(self, X):
+        result = self._request("POST", "/predict", {"X": X, "debug": True})
+        return result["labels"]

@@ -1,0 +1,14 @@
+"""A client whose expectations match the derived routes exactly."""
+
+
+class WireClient:
+    def _request(self, method, path, payload=None):
+        return {"status": "ok"}
+
+    def health(self):
+        result = self._request("GET", "/health")
+        return result["status"]
+
+    def predict(self, X):
+        result = self._request("POST", "/predict", {"X": X})
+        return result["predictions"]

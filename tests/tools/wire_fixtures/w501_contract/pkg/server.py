@@ -1,0 +1,25 @@
+"""A miniature gateway: two routes derivable from ``_route``."""
+
+
+class Response:
+    def __init__(self, status=200, body=None):
+        self.status = status
+        self.body = body
+
+
+class Gateway:
+    def __init__(self, platform):
+        self.platform = platform
+
+    def _route(self, request):
+        segments = request.segments
+        if request.method == "GET" and segments == ("health",):
+            return Response(status=200, body={"status": "ok"})
+        if request.method == "POST" and segments == ("predict",):
+            return self._predict(request)
+        return Response(status=404, body={"error": "no route"})
+
+    def _predict(self, request):
+        body = request.json()
+        rows = self.platform.predict(body["X"])
+        return Response(status=200, body={"predictions": rows})

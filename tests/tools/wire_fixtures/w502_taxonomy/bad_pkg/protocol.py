@@ -1,0 +1,64 @@
+"""A wire taxonomy with every completeness defect W502 names."""
+
+__all__ = ["ERROR_STATUS", "KIND_TO_ERROR"]
+
+
+class ReproError(Exception):
+    """Root of the wire-visible error family."""
+
+
+class ValidationError(ReproError):
+    pass
+
+
+class MissingError(ReproError):
+    pass
+
+
+class GhostError(ReproError):
+    pass
+
+
+class StatusOnlyError(ReproError):
+    pass
+
+
+class _InternalError(ReproError):
+    pass
+
+
+ERROR_STATUS = {
+    "ReproError": 500,
+    "ValidationError": 400,
+    "GhostError": 410,
+    "StatusOnlyError": 418,
+}
+
+KIND_TO_ERROR = {
+    "ReproError": ReproError,
+    "ValidationError": ValidationError,
+    "GhostError": GhostError,
+    "WrongError": ValidationError,
+}
+
+
+def check(payload):
+    if not payload:
+        raise ValidationError("empty payload")
+    return payload
+
+
+def fetch(store, key):
+    if key not in store:
+        raise MissingError(key)
+    return store[key]
+
+
+def scan(rows):
+    try:
+        for row in rows:
+            if row is None:
+                raise _InternalError()
+    except _InternalError:
+        return None
+    return rows

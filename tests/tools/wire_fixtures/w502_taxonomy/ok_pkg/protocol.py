@@ -1,0 +1,28 @@
+"""A complete, alive, round-trippable wire taxonomy: W502 stays silent."""
+
+__all__ = ["ERROR_STATUS", "KIND_TO_ERROR"]
+
+
+class ReproError(Exception):
+    """Root of the wire-visible error family."""
+
+
+class ValidationError(ReproError):
+    pass
+
+
+ERROR_STATUS = {
+    "ReproError": 500,
+    "ValidationError": 400,
+}
+
+KIND_TO_ERROR = {
+    "ReproError": ReproError,
+    "ValidationError": ValidationError,
+}
+
+
+def check(payload):
+    if not payload:
+        raise ValidationError("empty payload")
+    return payload

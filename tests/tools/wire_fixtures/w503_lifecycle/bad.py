@@ -1,0 +1,33 @@
+"""Resources acquired without exception-path protection (W503 fires)."""
+
+import socket
+import threading
+
+
+def success_only_close(host, port):
+    sock = socket.create_connection((host, port))
+    greeting = handshake(sock)
+    sock.close()
+    return greeting
+
+
+def never_released(path):
+    handle = open(path)
+    text = handle.read()
+    return text.strip()
+
+
+def fire_and_forget(work):
+    worker = threading.Thread(target=work)
+    worker.start()
+    work_done = compute()
+    return work_done
+
+
+def handshake(sock):
+    sock.sendall(b"hello")
+    return sock.recv(64)
+
+
+def compute():
+    return 1

@@ -1,0 +1,39 @@
+"""The same acquisitions with lifecycle discipline (W503 stays silent)."""
+
+import socket
+import threading
+
+
+def with_protected(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def try_finally(host, port):
+    sock = socket.create_connection((host, port))
+    try:
+        return handshake(sock)
+    finally:
+        sock.close()
+
+
+def immediate_cleanup(host, port):
+    sock = socket.create_connection((host, port))
+    sock.close()
+    return True
+
+
+def build_worker(work):
+    worker = threading.Thread(target=work)
+    return worker  # unstarted and returned: the caller owns it
+
+
+def stored_server(registry, factory):
+    server = factory.ThreadingHTTPServer(("127.0.0.1", 0), None)
+    registry["server"] = server  # stored: ownership transferred
+    return registry
+
+
+def handshake(sock):
+    sock.sendall(b"hello")
+    return sock.recv(64)

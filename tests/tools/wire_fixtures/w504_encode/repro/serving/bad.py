@@ -1,0 +1,27 @@
+"""Values json.dumps rejects reaching encode sites (W504 fires)."""
+
+import json
+
+import numpy as np
+
+
+def encode_mean(x):
+    return json.dumps(np.float64(x))
+
+
+def encode_tags():
+    return json.dumps({"fast", "slow"})
+
+
+def encode_rate():
+    return json.dumps(float("nan"))
+
+
+def encode_rows(values):
+    rows = np.asarray(values, dtype=np.float64)
+    return json.dumps(rows)
+
+
+def encode_mixed(values):
+    cells = np.array(values, dtype=np.object_)
+    return json.dumps(cells)

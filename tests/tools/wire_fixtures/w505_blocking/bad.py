@@ -1,0 +1,33 @@
+"""Indefinitely blocking calls reachable from a gateway (W505 fires)."""
+
+import subprocess
+import time
+
+
+class Response:
+    def __init__(self, status=200, body=None):
+        self.status = status
+        self.body = body
+
+
+class SleepyGateway:
+    def _route(self, request):
+        segments = request.segments
+        if request.method == "GET" and segments == ("slow",):
+            return self._slow(request)
+        if request.method == "GET" and segments == ("drain",):
+            return self._drain(request)
+        return Response(status=404, body={"error": "no route"})
+
+    def _slow(self, request):
+        time.sleep(5)
+        report = run_tool()
+        return Response(status=200, body={"report": report})
+
+    def _drain(self, request):
+        self._done.wait()
+        return Response(status=200, body={"drained": True})
+
+
+def run_tool():
+    return subprocess.check_output(["tool"])

@@ -1,0 +1,28 @@
+"""A gateway with a timed operation and a /metrics/summary route."""
+
+
+class Response:
+    def __init__(self, status=200, body=None):
+        self.status = status
+        self.body = body
+
+
+class MetricGateway:
+    def _route(self, request):
+        segments = request.segments
+        if request.method == "GET" and segments == ("metrics", "summary"):
+            return Response(status=200, body={"operations": self._ops(),
+                                              "uptime": self._uptime()})
+        if request.method == "GET" and segments == ("health",):
+            return self._timed("health_check", lambda: {"status": "ok"})
+        return Response(status=404, body={"error": "no route"})
+
+    def _timed(self, operation, handler):
+        self.metrics.record_sample(f"latency_samples.{operation}", 0.0)
+        return Response(status=200, body=handler())
+
+    def _ops(self):
+        return {}
+
+    def _uptime(self):
+        return 0.0
